@@ -1,0 +1,44 @@
+//! Criterion bench: ballistic-channel and routing cost model evaluation
+//! (Section 2.1 / E2 in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_layout::{BallisticRoute, Floorplan, LogicalQubitId};
+use qla_physical::{BallisticChannel, TechnologyParams};
+use std::hint::black_box;
+
+fn bench_channel_model(c: &mut Criterion) {
+    let tech = TechnologyParams::expected();
+    let mut group = c.benchmark_group("ballistic_channel");
+    for cells in [100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("latency_and_failure", cells), &cells, |b, &cells| {
+            b.iter(|| {
+                let chan = BallisticChannel::new(black_box(cells), &tech);
+                (
+                    chan.single_trip_latency(),
+                    chan.pipelined_latency(100),
+                    chan.traverse_failure(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let tech = TechnologyParams::expected();
+    let plan = Floorplan::new(100, 100);
+    c.bench_function("ballistic_route_all_pairs_row", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for i in 0..100 {
+                let route =
+                    BallisticRoute::between_qubits(&plan, LogicalQubitId(0), LogicalQubitId(i));
+                total += route.latency(&tech).as_micros() + route.failure_probability(&tech);
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(benches, bench_channel_model, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the Equation 1 error-correction latency model and the
+//! Steane syndrome-extraction circuits (experiment E3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qla_qec::syndrome::{extraction_circuit, syndrome_from_measurements};
+use qla_qec::{steane_code, EccLatencyModel, ErrorType};
+use std::hint::black_box;
+
+fn bench_latency_model(c: &mut Criterion) {
+    let model = EccLatencyModel::expected();
+    c.bench_function("ecc_latency_levels_1_to_3", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for level in 1..=3u32 {
+                total += model.ecc_step_trivial(black_box(level)).as_secs();
+                total += model.ecc_step_nontrivial(level).as_secs();
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_extraction_circuit_construction(c: &mut Criterion) {
+    let code = steane_code();
+    c.bench_function("steane_extraction_circuit_and_decode", |b| {
+        b.iter(|| {
+            let circuit = extraction_circuit(ErrorType::X);
+            let measured = vec![false, true, false, true, false, true, false];
+            let syndrome = syndrome_from_measurements(&code, ErrorType::X, &measured);
+            black_box((circuit.len(), code.decode_single_x_error(&syndrome)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_latency_model, bench_extraction_circuit_construction);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: the greedy EPR-distribution scheduler on fault-tolerant
+//! Toffoli traffic (Section 5 / experiment E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_sched::{random_toffoli_sites, schedule_toffoli_traffic, Mesh};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epr_scheduler");
+    group.sample_size(20);
+    for &toffolis in &[8usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("toffoli_traffic_20x20_bw2", toffolis),
+            &toffolis,
+            |b, &count| {
+                let mesh = Mesh::new(20, 20, 2).with_pairs_per_window(70);
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                let sites = random_toffoli_sites(&mesh, count, &mut rng);
+                b.iter(|| black_box(schedule_toffoli_traffic(&mesh, black_box(&sites), 4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bandwidth_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epr_scheduler_bandwidth_ablation");
+    group.sample_size(20);
+    for &bw in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &bw, |b, &bw| {
+            let mesh = Mesh::new(16, 16, bw).with_pairs_per_window(70);
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let sites = random_toffoli_sites(&mesh, 16, &mut rng);
+            b.iter(|| black_box(schedule_toffoli_traffic(&mesh, &sites, 8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_bandwidth_ablation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench: the Figure 7 Monte-Carlo kernel — circuit-level
+//! Pauli-frame trials of one logical gate plus a Steane EC cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_core::ThresholdExperiment;
+use std::hint::black_box;
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_montecarlo");
+    group.sample_size(10);
+    for &p in &[1e-3f64, 2.5e-3] {
+        group.bench_with_input(BenchmarkId::new("level1_2000_trials", format!("p={p}")), &p, |b, &p| {
+            let experiment = ThresholdExperiment {
+                trials: 2000,
+                seed: 99,
+                movement_error: 1.2e-5,
+            };
+            b.iter(|| black_box(experiment.level1_failure_rate(black_box(p))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_montecarlo);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench: the Table 2 resource estimator and the functional
+//! small-number factoring path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_shor::{factor, ShorEstimator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let estimator = ShorEstimator::default();
+    c.bench_function("table2_all_rows", |b| {
+        b.iter(|| black_box(estimator.table2()));
+    });
+    let mut group = c.benchmark_group("shor_estimate");
+    for bits in [128usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| black_box(estimator.estimate(black_box(bits))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_factoring(c: &mut Criterion) {
+    c.bench_function("factor_semiprimes_up_to_899", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            let mut product = 1u64;
+            for n in [15u64, 21, 91, 221, 899] {
+                let (f, _) = factor(n, &mut rng, 64);
+                product = product.wrapping_mul(f.factors.0);
+            }
+            black_box(product)
+        });
+    });
+}
+
+criterion_group!(benches, bench_table2, bench_functional_factoring);
+criterion_main!(benches);

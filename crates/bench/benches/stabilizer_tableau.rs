@@ -1,0 +1,66 @@
+//! Criterion bench: the CHP tableau and Pauli-frame engines behind ARQ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_stabilizer::{CliffordGate, PauliFrame, StabilizerSimulator, Tableau};
+use std::hint::black_box;
+
+fn bench_tableau_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_gate_layer");
+    for n in [49usize, 147, 343] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                for q in 0..n {
+                    t.apply(CliffordGate::H(q));
+                }
+                for q in 0..n - 1 {
+                    t.apply(CliffordGate::Cnot(q, q + 1));
+                }
+                black_box(t.num_qubits())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tableau_measurement(c: &mut Criterion) {
+    c.bench_function("tableau_measure_147_entangled_qubits", |b| {
+        b.iter(|| {
+            let mut sim = StabilizerSimulator::with_seed(147, 7);
+            sim.apply(CliffordGate::H(0));
+            for q in 0..146 {
+                sim.apply(CliffordGate::Cnot(q, q + 1));
+            }
+            let mut ones = 0usize;
+            for q in 0..147 {
+                if sim.measure(q) {
+                    ones += 1;
+                }
+            }
+            black_box(ones)
+        });
+    });
+}
+
+fn bench_pauli_frame(c: &mut Criterion) {
+    c.bench_function("pauli_frame_10k_cnot_propagations", |b| {
+        b.iter(|| {
+            let mut f = PauliFrame::new(343);
+            f.inject_x(0);
+            f.inject_z(342);
+            for i in 0..10_000usize {
+                let a = i % 342;
+                f.apply(CliffordGate::Cnot(a, a + 1));
+            }
+            black_box(f.weight())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tableau_gates,
+    bench_tableau_measurement,
+    bench_pauli_frame
+);
+criterion_main!(benches);

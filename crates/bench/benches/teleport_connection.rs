@@ -1,0 +1,35 @@
+//! Criterion bench: the Figure 9 connection planner (purification recurrence,
+//! swap-budget analysis and island-separation optimisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_network::{best_separation, plan_connection, InterconnectParams, FIGURE9_SEPARATIONS};
+use std::hint::black_box;
+
+fn bench_single_plan(c: &mut Criterion) {
+    let params = InterconnectParams::paper_calibrated();
+    let mut group = c.benchmark_group("connection_plan");
+    for distance in [3_000usize, 10_000, 30_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(distance), &distance, |b, &d| {
+            b.iter(|| black_box(plan_connection(&params, black_box(d), 350)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_best_separation(c: &mut Criterion) {
+    let params = InterconnectParams::paper_calibrated();
+    c.bench_function("best_separation_over_figure9_candidates", |b| {
+        b.iter(|| {
+            let mut picks = 0usize;
+            for distance in (2_000..=30_000).step_by(4_000) {
+                if best_separation(&params, distance, &FIGURE9_SEPARATIONS).is_some() {
+                    picks += 1;
+                }
+            }
+            black_box(picks)
+        });
+    });
+}
+
+criterion_group!(benches, bench_single_plan, bench_best_separation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerate the Section 2.1 ballistic-channel numbers: per-trip latency,
+//! pipelined bandwidth (~100 M qubits/s) and accumulated movement error as a
+//! function of channel length.
+
+use qla_physical::{BallisticChannel, TechnologyParams};
+
+fn main() {
+    println!("Section 2.1 — ballistic channel latency and bandwidth\n");
+    let tech = TechnologyParams::expected();
+    println!(
+        "{:>12} {:>16} {:>18} {:>18} {:>16}",
+        "cells", "single trip", "100 qubits (pipelined)", "bandwidth (qb/s)", "traverse failure"
+    );
+    for cells in [10usize, 100, 350, 1000, 3000, 10_000, 30_000] {
+        let chan = BallisticChannel::new(cells, &tech);
+        println!(
+            "{:>12} {:>16} {:>18} {:>18.3e} {:>16.3e}",
+            cells,
+            format!("{}", chan.single_trip_latency()),
+            format!("{}", chan.pipelined_latency(100)),
+            chan.bandwidth_qbps(),
+            chan.traverse_failure()
+        );
+    }
+    println!(
+        "\npaper: 'the ballistic channels provide a bandwidth of ~100M qbps' -> {:.1e} qb/s here",
+        BallisticChannel::new(100, &tech).bandwidth_qbps()
+    );
+}

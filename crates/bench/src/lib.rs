@@ -1,0 +1,47 @@
+//! Benchmark and experiment harness for the QLA reproduction.
+//!
+//! Every table and figure of the paper's evaluation has a regeneration
+//! binary in `src/bin/` (run with `cargo run -p qla-bench --bin <name>`):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — technology parameters |
+//! | `channel_bandwidth` | §2.1 — ballistic channel latency/bandwidth |
+//! | `ecc_latency` | §4.1.1 — error-correction step latency (Eq. 1) |
+//! | `recursion_analysis` | §4.1.2 — Eq. 2 system-size analysis |
+//! | `fig7_threshold` | Figure 7 — logical failure vs component failure |
+//! | `fig9_connection` | Figure 9 — island separation vs connection time |
+//! | `scheduler_utilization` | §5 — EPR scheduler bandwidth utilisation |
+//! | `table2_shor` | Table 2 — Shor system numbers |
+//! | `factor128_walkthrough` | §5 — the 128-bit factorisation walk-through |
+//!
+//! The Criterion benches in `benches/` measure the performance of the
+//! simulator substrate itself (tableau updates, Monte-Carlo trials,
+//! connection planning, scheduling, resource estimation).
+
+/// Format a floating-point number for table output: plain decimal in a
+/// readable range, scientific notation outside it.
+#[must_use]
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = x.abs().log10();
+    if (-3.0..6.0).contains(&magnitude) {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(1.5), "1.5000");
+        assert!(eng(1.0e12).contains('e'));
+    }
+}

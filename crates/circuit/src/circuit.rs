@@ -1,0 +1,336 @@
+//! Circuits: ordered gate sequences over a qubit register.
+
+use crate::gate::{Gate, Qubit};
+use crate::schedule::Schedule;
+use qla_physical::{TechnologyParams, Time};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate gate statistics of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GateCounts {
+    /// Single-qubit Clifford gates (H, S, S†, Paulis).
+    pub single_qubit_clifford: usize,
+    /// T and T† gates.
+    pub t_like: usize,
+    /// Two-qubit gates (CNOT, CZ, SWAP).
+    pub two_qubit: usize,
+    /// Toffoli gates.
+    pub toffoli: usize,
+    /// Preparations.
+    pub preparations: usize,
+    /// Measurements.
+    pub measurements: usize,
+}
+
+impl GateCounts {
+    /// Total number of gates counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.single_qubit_clifford
+            + self.t_like
+            + self.two_qubit
+            + self.toffoli
+            + self.preparations
+            + self.measurements
+    }
+}
+
+/// A quantum circuit: a register of qubits and an ordered sequence of gates.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    #[must_use]
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the register.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gates in the circuit.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit contains no gates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in program order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Append an arbitrary gate.
+    ///
+    /// # Panics
+    /// Panics if the gate references a qubit outside the register.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        for q in gate.qubits() {
+            assert!(
+                q < self.num_qubits,
+                "gate {gate} references qubit {q}, but the register has {} qubits",
+                self.num_qubits
+            );
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Append another circuit's gates, offsetting its qubits by `offset`.
+    ///
+    /// # Panics
+    /// Panics if any remapped qubit falls outside this register.
+    pub fn append_offset(&mut self, other: &Circuit, offset: usize) -> &mut Self {
+        for g in other.gates() {
+            self.push(g.map_qubits(|q| q + offset));
+        }
+        self
+    }
+
+    /// Append a Hadamard.
+    pub fn h(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Append a Pauli-X.
+    pub fn x(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Append a Pauli-Y.
+    pub fn y(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+
+    /// Append a Pauli-Z.
+    pub fn z(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+
+    /// Append an S gate.
+    pub fn s(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+
+    /// Append an S† gate.
+    pub fn sdg(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Sdg(q))
+    }
+
+    /// Append a T gate.
+    pub fn t(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+
+    /// Append a T† gate.
+    pub fn tdg(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::Tdg(q))
+    }
+
+    /// Append a CNOT.
+    pub fn cnot(&mut self, control: Qubit, target: Qubit) -> &mut Self {
+        self.push(Gate::Cnot(control, target))
+    }
+
+    /// Append a CZ.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Gate::Cz(a, b))
+    }
+
+    /// Append a SWAP.
+    pub fn swap(&mut self, a: Qubit, b: Qubit) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+
+    /// Append a Toffoli.
+    pub fn toffoli(&mut self, control1: Qubit, control2: Qubit, target: Qubit) -> &mut Self {
+        self.push(Gate::Toffoli {
+            control1,
+            control2,
+            target,
+        })
+    }
+
+    /// Append a preparation.
+    pub fn prep(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::PrepZ(q))
+    }
+
+    /// Append a measurement.
+    pub fn measure(&mut self, q: Qubit) -> &mut Self {
+        self.push(Gate::MeasureZ(q))
+    }
+
+    /// Measure every qubit of the register, in order.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.gates.push(Gate::MeasureZ(q));
+        }
+        self
+    }
+
+    /// Count gates satisfying a predicate.
+    #[must_use]
+    pub fn count(&self, pred: impl Fn(&Gate) -> bool) -> usize {
+        self.gates.iter().filter(|g| pred(g)).count()
+    }
+
+    /// Aggregate gate statistics.
+    #[must_use]
+    pub fn counts(&self) -> GateCounts {
+        let mut c = GateCounts::default();
+        for g in &self.gates {
+            match g {
+                Gate::T(_) | Gate::Tdg(_) => c.t_like += 1,
+                Gate::Toffoli { .. } => c.toffoli += 1,
+                Gate::Cnot(..) | Gate::Cz(..) | Gate::Swap(..) => c.two_qubit += 1,
+                Gate::PrepZ(_) => c.preparations += 1,
+                Gate::MeasureZ(_) => c.measurements += 1,
+                _ => c.single_qubit_clifford += 1,
+            }
+        }
+        c
+    }
+
+    /// True if every gate is Clifford (so the stabilizer backend can simulate
+    /// the circuit exactly).
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
+    }
+
+    /// ASAP-schedule the circuit into parallel timesteps.
+    #[must_use]
+    pub fn schedule(&self) -> Schedule {
+        Schedule::asap(self)
+    }
+
+    /// Serial latency of the circuit on the given technology — every gate
+    /// executed one after another (an upper bound; the scheduled latency from
+    /// [`Schedule::latency`] accounts for parallelism).
+    #[must_use]
+    pub fn serial_latency(&self, tech: &TechnologyParams) -> Time {
+        self.gates
+            .iter()
+            .map(|g| tech.op_time(&g.physical_op()))
+            .sum()
+    }
+
+    /// Expand every Toffoli gate into the Clifford+T decomposition, leaving
+    /// other gates untouched.
+    #[must_use]
+    pub fn expand_toffolis(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for g in &self.gates {
+            match *g {
+                Gate::Toffoli {
+                    control1,
+                    control2,
+                    target,
+                } => {
+                    for dg in crate::decompose::decompose_toffoli(control1, control2, target) {
+                        out.push(dg);
+                    }
+                }
+                other => {
+                    out.push(other);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_counts() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cnot(0, 1)
+            .toffoli(0, 1, 2)
+            .t(3)
+            .s(2)
+            .prep(3)
+            .measure(0);
+        let counts = c.counts();
+        assert_eq!(counts.single_qubit_clifford, 2);
+        assert_eq!(counts.two_qubit, 1);
+        assert_eq!(counts.toffoli, 1);
+        assert_eq!(counts.t_like, 1);
+        assert_eq!(counts.preparations, 1);
+        assert_eq!(counts.measurements, 1);
+        assert_eq!(counts.total(), 7);
+        assert_eq!(c.len(), 7);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "references qubit")]
+    fn out_of_register_gate_rejected() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 5);
+    }
+
+    #[test]
+    fn measure_all_touches_every_qubit() {
+        let mut c = Circuit::new(5);
+        c.measure_all();
+        assert_eq!(c.counts().measurements, 5);
+    }
+
+    #[test]
+    fn clifford_detection() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).measure_all();
+        assert!(c.is_clifford());
+        c.t(0);
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn append_offset_remaps_qubits() {
+        let mut inner = Circuit::new(2);
+        inner.cnot(0, 1);
+        let mut outer = Circuit::new(6);
+        outer.append_offset(&inner, 4);
+        assert_eq!(outer.gates()[0], Gate::Cnot(4, 5));
+    }
+
+    #[test]
+    fn serial_latency_adds_gate_times() {
+        let tech = TechnologyParams::expected();
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).measure(1);
+        // 1 + 10 + 100 microseconds.
+        assert!((c.serial_latency(&tech).as_micros() - 111.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_toffolis_leaves_a_clifford_plus_t_circuit() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        let expanded = c.expand_toffolis();
+        assert_eq!(expanded.counts().toffoli, 0);
+        assert!(expanded.counts().t_like >= 7);
+        assert!(expanded.len() > 10);
+    }
+}

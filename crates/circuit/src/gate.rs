@@ -1,0 +1,248 @@
+//! The gate set of the QLA circuit model.
+
+use qla_physical::{PhysicalOp, SingleQubitKind, TwoQubitKind};
+use serde::{Deserialize, Serialize};
+
+/// Index of a qubit within a circuit's register.
+pub type Qubit = usize;
+
+/// A quantum gate in the circuit model of Vedral/Barenco/Ekert that ARQ takes
+/// as input.
+///
+/// The set covers everything the paper's workloads need: the Clifford group
+/// (simulable by the stabilizer backend), the T gate (counted but not
+/// simulated), the Toffoli gate (the dominant gate of modular
+/// exponentiation), and preparation/measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Hadamard.
+    H(Qubit),
+    /// Pauli-X.
+    X(Qubit),
+    /// Pauli-Y.
+    Y(Qubit),
+    /// Pauli-Z.
+    Z(Qubit),
+    /// Phase gate S.
+    S(Qubit),
+    /// Inverse phase gate S†.
+    Sdg(Qubit),
+    /// T gate (π/8). Not a Clifford.
+    T(Qubit),
+    /// Inverse T gate.
+    Tdg(Qubit),
+    /// Controlled-NOT (control, target).
+    Cnot(Qubit, Qubit),
+    /// Controlled-Z.
+    Cz(Qubit, Qubit),
+    /// SWAP.
+    Swap(Qubit, Qubit),
+    /// Toffoli (controlled-controlled-NOT).
+    Toffoli {
+        /// First control.
+        control1: Qubit,
+        /// Second control.
+        control2: Qubit,
+        /// Target.
+        target: Qubit,
+    },
+    /// Prepare a qubit in |0⟩.
+    PrepZ(Qubit),
+    /// Measure a qubit in the Z basis.
+    MeasureZ(Qubit),
+}
+
+impl Gate {
+    /// The qubits the gate acts on, in operand order.
+    #[must_use]
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::PrepZ(q)
+            | Gate::MeasureZ(q) => vec![q],
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => vec![a, b],
+            Gate::Toffoli {
+                control1,
+                control2,
+                target,
+            } => vec![control1, control2, target],
+        }
+    }
+
+    /// Number of qubits the gate acts on.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.qubits().len()
+    }
+
+    /// True if the gate is in the Clifford group (simulable in polynomial
+    /// time by the stabilizer backend).
+    #[must_use]
+    pub fn is_clifford(&self) -> bool {
+        !matches!(self, Gate::T(_) | Gate::Tdg(_) | Gate::Toffoli { .. })
+    }
+
+    /// True if the gate is a measurement.
+    #[must_use]
+    pub fn is_measurement(&self) -> bool {
+        matches!(self, Gate::MeasureZ(_))
+    }
+
+    /// True if the gate is a two-qubit entangling gate.
+    #[must_use]
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Cnot(..) | Gate::Cz(..) | Gate::Swap(..))
+    }
+
+    /// The elementary physical operation this gate maps to when both (all)
+    /// operands are physical ions held in the same interaction region.
+    ///
+    /// Toffoli gates have no direct physical implementation: they must first
+    /// be decomposed (see [`crate::decompose`]); this method maps them to a
+    /// two-qubit gate cost as a lower bound and callers that care should
+    /// decompose first.
+    #[must_use]
+    pub fn physical_op(&self) -> PhysicalOp {
+        match self {
+            Gate::H(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::H),
+            Gate::X(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::X),
+            Gate::Y(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::Y),
+            Gate::Z(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::Z),
+            Gate::S(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::S),
+            Gate::Sdg(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::Sdg),
+            Gate::T(_) | Gate::Tdg(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::T),
+            Gate::PrepZ(_) => PhysicalOp::SingleQubitGate(SingleQubitKind::PrepZ),
+            Gate::Cnot(..) => PhysicalOp::TwoQubitGate(TwoQubitKind::Cnot),
+            Gate::Cz(..) => PhysicalOp::TwoQubitGate(TwoQubitKind::Cz),
+            Gate::Swap(..) | Gate::Toffoli { .. } => PhysicalOp::TwoQubitGate(TwoQubitKind::Swap),
+            Gate::MeasureZ(_) => PhysicalOp::Measure,
+        }
+    }
+
+    /// Remap the gate's qubit operands through `f` (used when embedding a
+    /// sub-circuit into a larger register).
+    #[must_use]
+    pub fn map_qubits(&self, f: impl Fn(Qubit) -> Qubit) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Cnot(a, b) => Gate::Cnot(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Toffoli {
+                control1,
+                control2,
+                target,
+            } => Gate::Toffoli {
+                control1: f(control1),
+                control2: f(control2),
+                target: f(target),
+            },
+            Gate::PrepZ(q) => Gate::PrepZ(f(q)),
+            Gate::MeasureZ(q) => Gate::MeasureZ(f(q)),
+        }
+    }
+}
+
+impl core::fmt::Display for Gate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Gate::Toffoli {
+                control1,
+                control2,
+                target,
+            } => write!(f, "toffoli {control1} {control2} {target}"),
+            Gate::Cnot(a, b) => write!(f, "cnot {a} {b}"),
+            Gate::Cz(a, b) => write!(f, "cz {a} {b}"),
+            Gate::Swap(a, b) => write!(f, "swap {a} {b}"),
+            Gate::H(q) => write!(f, "h {q}"),
+            Gate::X(q) => write!(f, "x {q}"),
+            Gate::Y(q) => write!(f, "y {q}"),
+            Gate::Z(q) => write!(f, "z {q}"),
+            Gate::S(q) => write!(f, "s {q}"),
+            Gate::Sdg(q) => write!(f, "sdg {q}"),
+            Gate::T(q) => write!(f, "t {q}"),
+            Gate::Tdg(q) => write!(f, "tdg {q}"),
+            Gate::PrepZ(q) => write!(f, "prep {q}"),
+            Gate::MeasureZ(q) => write!(f, "measure {q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubits_and_arity() {
+        assert_eq!(Gate::H(3).qubits(), vec![3]);
+        assert_eq!(Gate::Cnot(1, 2).qubits(), vec![1, 2]);
+        assert_eq!(
+            Gate::Toffoli {
+                control1: 0,
+                control2: 1,
+                target: 2
+            }
+            .arity(),
+            3
+        );
+    }
+
+    #[test]
+    fn clifford_classification() {
+        assert!(Gate::H(0).is_clifford());
+        assert!(Gate::Cnot(0, 1).is_clifford());
+        assert!(Gate::S(0).is_clifford());
+        assert!(!Gate::T(0).is_clifford());
+        assert!(!Gate::Toffoli {
+            control1: 0,
+            control2: 1,
+            target: 2
+        }
+        .is_clifford());
+    }
+
+    #[test]
+    fn physical_op_mapping() {
+        use qla_physical::PhysicalOp;
+        assert!(matches!(
+            Gate::Cnot(0, 1).physical_op(),
+            PhysicalOp::TwoQubitGate(_)
+        ));
+        assert!(matches!(Gate::MeasureZ(0).physical_op(), PhysicalOp::Measure));
+        assert!(matches!(
+            Gate::H(0).physical_op(),
+            PhysicalOp::SingleQubitGate(_)
+        ));
+    }
+
+    #[test]
+    fn map_qubits_applies_offset() {
+        let g = Gate::Toffoli {
+            control1: 0,
+            control2: 1,
+            target: 2,
+        };
+        let shifted = g.map_qubits(|q| q + 10);
+        assert_eq!(shifted.qubits(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Gate::Cnot(0, 4)), "cnot 0 4");
+        assert_eq!(format!("{}", Gate::MeasureZ(7)), "measure 7");
+    }
+}

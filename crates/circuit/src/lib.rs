@@ -1,0 +1,41 @@
+//! Gate-level quantum circuit representation for the QLA architecture.
+//!
+//! ARQ's input is "a description of a general quantum circuit with a sequence
+//! of quantum gates" (paper, Section 3). This crate provides that
+//! representation:
+//!
+//! * [`Gate`] — the gate set used by the paper's workloads: the Clifford
+//!   group, T/T†, Toffoli, preparation and measurement ([`gate`]).
+//! * [`Circuit`] — an ordered gate list over a qubit register, with a builder
+//!   API and gate statistics ([`circuit`]).
+//! * [`Schedule`] — ASAP scheduling of a circuit into parallel timesteps,
+//!   which is what the QLA control processors execute and what the latency
+//!   model multiplies by physical gate times ([`schedule`]).
+//! * [`decompose`] — fault-tolerant decompositions (Toffoli into the
+//!   Clifford+T basis) used by the Shor resource model.
+//!
+//! # Example
+//!
+//! ```
+//! use qla_circuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).cnot(0, 1).toffoli(0, 1, 2).measure_all();
+//! assert_eq!(c.num_qubits(), 3);
+//! assert_eq!(c.count(|g| matches!(g, Gate::Toffoli { .. })), 1);
+//! let schedule = c.schedule();
+//! assert!(schedule.depth() >= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod circuit;
+pub mod decompose;
+pub mod gate;
+pub mod schedule;
+
+pub use circuit::{Circuit, GateCounts};
+pub use decompose::{decompose_toffoli, toffoli_t_count};
+pub use gate::{Gate, Qubit};
+pub use schedule::{Schedule, Timestep};

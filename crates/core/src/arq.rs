@@ -1,0 +1,172 @@
+//! ARQ: the architectural quantum simulator driver.
+//!
+//! ARQ "takes a description of a general quantum circuit with a sequence of
+//! quantum gates as an input, maps it onto a specified physical layout, and
+//! generates pulse sequence files, which are then executed on the general
+//! quantum architecture simulator" (Section 3). This module provides that
+//! pipeline: circuits from `qla-circuit` are lowered to Clifford operations on
+//! the stabilizer backend, annotated with the physical operations and timing
+//! of the target technology.
+
+use qla_circuit::{Circuit, Gate, Schedule};
+use qla_physical::{TechnologyParams, Time};
+use qla_stabilizer::{CliffordGate, StabilizerSimulator};
+use serde::{Deserialize, Serialize};
+
+/// Error raised when a circuit cannot be simulated by the stabilizer backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArqError {
+    /// The circuit contains a non-Clifford gate; ARQ simulates only the
+    /// stabilizer subset in polynomial time (non-Clifford gates are counted
+    /// by the resource models instead).
+    NonCliffordGate(String),
+}
+
+impl core::fmt::Display for ArqError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArqError::NonCliffordGate(g) => {
+                write!(f, "gate {g} is outside the stabilizer subset ARQ simulates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArqError {}
+
+/// Convert a circuit gate to its stabilizer-backend instruction.
+///
+/// # Errors
+/// Returns [`ArqError::NonCliffordGate`] for T, T† and Toffoli gates.
+pub fn lower_gate(gate: &Gate) -> Result<Option<CliffordGate>, ArqError> {
+    Ok(Some(match *gate {
+        Gate::H(q) => CliffordGate::H(q),
+        Gate::X(q) => CliffordGate::X(q),
+        Gate::Y(q) => CliffordGate::Y(q),
+        Gate::Z(q) => CliffordGate::Z(q),
+        Gate::S(q) => CliffordGate::S(q),
+        Gate::Sdg(q) => CliffordGate::Sdg(q),
+        Gate::Cnot(a, b) => CliffordGate::Cnot(a, b),
+        Gate::Cz(a, b) => CliffordGate::Cz(a, b),
+        Gate::Swap(a, b) => CliffordGate::Swap(a, b),
+        Gate::PrepZ(q) => CliffordGate::PrepZ(q),
+        Gate::MeasureZ(_) => return Ok(None),
+        Gate::T(q) | Gate::Tdg(q) => {
+            return Err(ArqError::NonCliffordGate(format!("t {q}")));
+        }
+        Gate::Toffoli { .. } => {
+            return Err(ArqError::NonCliffordGate("toffoli".to_string()));
+        }
+    }))
+}
+
+/// The result of executing a circuit on the ARQ backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArqRun {
+    /// Measurement results, in program order of the `MeasureZ` gates.
+    pub measurements: Vec<bool>,
+    /// Number of gates executed.
+    pub gates_executed: usize,
+    /// Scheduled (parallel) latency of the circuit on the technology.
+    pub scheduled_latency: Time,
+}
+
+/// The ARQ simulator: a stabilizer backend plus the technology model used for
+/// timing annotation.
+#[derive(Debug, Clone)]
+pub struct Arq {
+    /// Technology used for timing.
+    pub tech: TechnologyParams,
+    /// RNG seed for measurement outcomes.
+    pub seed: u64,
+}
+
+impl Arq {
+    /// ARQ with the expected technology parameters.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Arq {
+            tech: TechnologyParams::expected(),
+            seed,
+        }
+    }
+
+    /// Execute a Clifford circuit and return its measurements and timing.
+    ///
+    /// # Errors
+    /// Returns [`ArqError`] if the circuit contains non-Clifford gates.
+    pub fn run(&self, circuit: &Circuit) -> Result<ArqRun, ArqError> {
+        let mut sim = StabilizerSimulator::with_seed(circuit.num_qubits().max(1), self.seed);
+        let mut measurements = Vec::new();
+        for gate in circuit.gates() {
+            match lower_gate(gate)? {
+                Some(cg) => sim.apply_ideal(cg),
+                None => {
+                    if let Gate::MeasureZ(q) = gate {
+                        measurements.push(sim.measure_ideal(*q).value);
+                    }
+                }
+            }
+        }
+        let schedule = Schedule::asap(circuit);
+        Ok(ArqRun {
+            measurements,
+            gates_executed: circuit.len(),
+            scheduled_latency: schedule.latency(&self.tech),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qla_qec::encode_zero_circuit;
+
+    #[test]
+    fn runs_a_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).measure(0).measure(1);
+        let run = Arq::new(3).run(&c).unwrap();
+        assert_eq!(run.measurements.len(), 2);
+        assert_eq!(run.measurements[0], run.measurements[1]);
+        assert_eq!(run.gates_executed, 4);
+        assert!(run.scheduled_latency.as_micros() > 100.0);
+    }
+
+    #[test]
+    fn runs_the_steane_encoder_and_gets_a_codeword() {
+        let mut c = encode_zero_circuit();
+        c.measure_all();
+        let run = Arq::new(9).run(&c).unwrap();
+        // The measured bits form a codeword of the Hamming code: all three
+        // parity checks vanish.
+        let bits = run.measurements;
+        for support in [[3usize, 4, 5, 6], [1, 2, 5, 6], [0, 2, 4, 6]] {
+            let parity = support.iter().fold(false, |acc, &q| acc ^ bits[q]);
+            assert!(!parity);
+        }
+    }
+
+    #[test]
+    fn rejects_non_clifford_circuits() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        assert!(matches!(
+            Arq::new(0).run(&c),
+            Err(ArqError::NonCliffordGate(_))
+        ));
+        let mut t = Circuit::new(1);
+        t.t(0);
+        assert!(Arq::new(0).run(&t).is_err());
+    }
+
+    #[test]
+    fn different_seeds_can_give_different_random_outcomes() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0);
+        let outcomes: std::collections::HashSet<bool> = (0..32)
+            .map(|seed| Arq::new(seed).run(&c).unwrap().measurements[0])
+            .collect();
+        assert_eq!(outcomes.len(), 2, "both outcomes should appear across seeds");
+    }
+}

@@ -1,0 +1,22 @@
+//! The QLA machine model and the ARQ architectural simulator — the paper's
+//! primary contribution, assembled from the substrate crates.
+//!
+//! * [`arq`] — the ARQ pipeline: circuits are lowered onto the stabilizer
+//!   backend and annotated with physical timing (Section 3's simulator).
+//! * [`montecarlo`] — the Figure 7 experiment: circuit-level Monte-Carlo
+//!   estimation of the logical gate failure rate at recursion levels 1 and 2
+//!   and of the empirical threshold.
+//! * [`machine`] — [`QlaMachine`]: floorplan, error-correction cadence,
+//!   teleportation interconnect and EPR scheduling in one object, used by the
+//!   Shor performance model and the examples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arq;
+pub mod machine;
+pub mod montecarlo;
+
+pub use arq::{Arq, ArqError, ArqRun};
+pub use machine::{MachineConfig, QlaMachine};
+pub use montecarlo::{ThresholdExperiment, ThresholdPoint};

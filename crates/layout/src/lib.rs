@@ -1,0 +1,28 @@
+//! Physical layout of the QLA microarchitecture.
+//!
+//! This crate turns the abstract architecture of Figure 1 into concrete
+//! geometry:
+//!
+//! * [`tile`] — the footprint of a level-1 block and of the level-2 logical
+//!   qubit (36 × 147 cells plus channel cells, Figures 4 and 5).
+//! * [`floorplan`] — the chip-level array of logical-qubit tiles,
+//!   communication channels and teleportation islands, with distance and
+//!   island-placement queries.
+//! * [`routing`] — ballistic Manhattan routes between sites, their latency,
+//!   corner-turn count (≤ 2 by construction) and accumulated movement error;
+//!   this is the "simplistic approach" baseline that the teleportation
+//!   interconnect is compared against.
+//! * [`area`] — the chip-area model behind the "Area(m²)" row of Table 2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod floorplan;
+pub mod routing;
+pub mod tile;
+
+pub use area::AreaModel;
+pub use floorplan::{Floorplan, LogicalQubitId};
+pub use routing::BallisticRoute;
+pub use tile::QubitTile;

@@ -1,0 +1,157 @@
+//! Ballistic routing between logical qubits.
+//!
+//! Within a logical qubit, ions move ballistically along the block's internal
+//! channels; the QLA guarantees that "no single gate will require more than
+//! two turns when we are using direct ballistic communication" (Section 2.2).
+//! Between logical qubits, data *can* be moved ballistically along the
+//! channel network (the "simplistic approach" whose limitations Section 5
+//! discusses), or teleported; this module provides the ballistic route model
+//! that the interconnect crate compares against.
+
+use crate::floorplan::{Floorplan, LogicalQubitId};
+use qla_physical::{PhysicalOp, Position, TechnologyParams, Time};
+use serde::{Deserialize, Serialize};
+
+/// A Manhattan (L-shaped) ballistic route between two points of the channel
+/// network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BallisticRoute {
+    /// Cells travelled along x̂.
+    pub dx_cells: usize,
+    /// Cells travelled along ŷ.
+    pub dy_cells: usize,
+    /// Corner turns on the route (0 or 1 for an L-route; up to 2 when the
+    /// route must first exit the source tile onto the channel grid).
+    pub corner_turns: usize,
+}
+
+impl BallisticRoute {
+    /// The route between two cell positions, assuming one corner per change
+    /// of direction plus one corner to exit onto the channel grid.
+    #[must_use]
+    pub fn between_positions(a: Position, b: Position) -> Self {
+        let dx = a.x.abs_diff(b.x);
+        let dy = a.y.abs_diff(b.y);
+        let direction_changes = usize::from(dx > 0 && dy > 0);
+        BallisticRoute {
+            dx_cells: dx,
+            dy_cells: dy,
+            // Exiting the source block always costs one turn onto the channel;
+            // the QLA layout guarantees the total never exceeds two.
+            corner_turns: (1 + direction_changes).min(2),
+        }
+    }
+
+    /// The route between two logical qubits on a floorplan.
+    #[must_use]
+    pub fn between_qubits(plan: &Floorplan, a: LogicalQubitId, b: LogicalQubitId) -> Self {
+        Self::between_positions(plan.cell_position(a), plan.cell_position(b))
+    }
+
+    /// Total route length in cells.
+    #[must_use]
+    pub fn length_cells(&self) -> usize {
+        self.dx_cells + self.dy_cells
+    }
+
+    /// Wall-clock latency of moving one ion along the route: one chain split,
+    /// the per-cell hops, and the corner turns.
+    #[must_use]
+    pub fn latency(&self, tech: &TechnologyParams) -> Time {
+        tech.times.split
+            + tech.times.move_per_cell * self.length_cells()
+            + tech.times.corner_turn * self.corner_turns
+    }
+
+    /// Probability that the moved ion is corrupted en route (accumulated per
+    /// cell, with each corner charged as one additional cell's worth of
+    /// stress).
+    #[must_use]
+    pub fn failure_probability(&self, tech: &TechnologyParams) -> f64 {
+        tech.op_failure(&PhysicalOp::Move {
+            cells: self.length_cells() + self.corner_turns,
+        })
+    }
+
+    /// The failure probability of moving an entire level-2 logical qubit's
+    /// worth of data ions (49 ions) along this route — the quantity that must
+    /// stay below the threshold for the "simplistic" ballistic approach to
+    /// work, and which grows untenably with distance (Section 5's motivation
+    /// for teleportation).
+    #[must_use]
+    pub fn logical_block_failure(&self, tech: &TechnologyParams, data_ions: usize) -> f64 {
+        let per_ion = self.failure_probability(tech);
+        1.0 - (1.0 - per_ion).powi(data_ions as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_route_has_one_turn_and_l_route_two() {
+        let straight = BallisticRoute::between_positions(Position::new(0, 5), Position::new(40, 5));
+        assert_eq!(straight.corner_turns, 1);
+        assert_eq!(straight.length_cells(), 40);
+        let l_shaped = BallisticRoute::between_positions(Position::new(0, 0), Position::new(30, 40));
+        assert_eq!(l_shaped.corner_turns, 2);
+        assert_eq!(l_shaped.length_cells(), 70);
+    }
+
+    #[test]
+    fn no_route_needs_more_than_two_turns() {
+        let plan = Floorplan::new(12, 12);
+        for a in 0..plan.qubit_count() {
+            let route =
+                BallisticRoute::between_qubits(&plan, LogicalQubitId(0), LogicalQubitId(a));
+            assert!(route.corner_turns <= 2);
+        }
+    }
+
+    #[test]
+    fn latency_matches_channel_model() {
+        let tech = TechnologyParams::expected();
+        let route = BallisticRoute::between_positions(Position::new(0, 0), Position::new(1000, 0));
+        // split (10) + 1000 cells (10) + 1 corner (10) = 30 us.
+        assert!((route.latency(&tech).as_micros() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_ballistic_moves_of_whole_logical_qubits_exceed_threshold() {
+        // The motivation for the teleportation interconnect: moving all 49
+        // data ions of a level-2 qubit over tens of thousands of cells
+        // accumulates far more error than the 7.5e-5 threshold budget.
+        let tech = TechnologyParams::expected();
+        let long = BallisticRoute {
+            dx_cells: 20_000,
+            dy_cells: 10_000,
+            corner_turns: 2,
+        };
+        let p = long.logical_block_failure(&tech, 49);
+        assert!(p > 7.5e-5 * 10.0, "failure {p} should dwarf the threshold");
+        // A short intra-qubit move stays far below threshold.
+        let short = BallisticRoute {
+            dx_cells: 12,
+            dy_cells: 0,
+            corner_turns: 1,
+        };
+        assert!(short.failure_probability(&tech) < 7.5e-5);
+    }
+
+    #[test]
+    fn failure_grows_monotonically_with_distance() {
+        let tech = TechnologyParams::expected();
+        let mut last = 0.0;
+        for cells in [10, 100, 1000, 10_000, 100_000] {
+            let r = BallisticRoute {
+                dx_cells: cells,
+                dy_cells: 0,
+                corner_turns: 1,
+            };
+            let p = r.failure_probability(&tech);
+            assert!(p > last);
+            last = p;
+        }
+    }
+}

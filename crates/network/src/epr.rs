@@ -1,0 +1,142 @@
+//! EPR (Bell) pairs: the raw resource of the teleportation interconnect.
+//!
+//! Every long-range transfer in the QLA consumes one purified EPR pair whose
+//! halves sit at the source and destination. Pairs are created in the middle
+//! of a channel segment and ballistically distributed to the two neighbouring
+//! teleportation islands (Figure 8); they degrade with the distance travelled
+//! and with the imperfection of the entangling operation that created them.
+
+use serde::{Deserialize, Serialize};
+
+/// A (Werner-state) EPR pair characterised by its fidelity with the ideal
+/// Bell state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EprPair {
+    /// Fidelity `F = ⟨Φ⁺|ρ|Φ⁺⟩ ∈ (0.25, 1]`.
+    pub fidelity: f64,
+}
+
+impl EprPair {
+    /// A pair with the given fidelity.
+    ///
+    /// # Panics
+    /// Panics if the fidelity is not in `(0.25, 1]` — below 1/4 a Werner
+    /// state carries no usable entanglement.
+    #[must_use]
+    pub fn with_fidelity(fidelity: f64) -> Self {
+        assert!(
+            fidelity > 0.25 && fidelity <= 1.0,
+            "EPR fidelity {fidelity} outside (0.25, 1]"
+        );
+        EprPair { fidelity }
+    }
+
+    /// A perfect Bell pair.
+    #[must_use]
+    pub fn perfect() -> Self {
+        EprPair { fidelity: 1.0 }
+    }
+
+    /// The infidelity `1 − F`.
+    #[must_use]
+    pub fn infidelity(&self) -> f64 {
+        1.0 - self.fidelity
+    }
+
+    /// Whether the pair is still purifiable by the Bennett protocol
+    /// (requires `F > 0.5`).
+    #[must_use]
+    pub fn purifiable(&self) -> bool {
+        self.fidelity > 0.5
+    }
+
+    /// Degrade the pair by transporting its halves a total of `cells` cells
+    /// with per-cell depolarisation probability `per_cell_error`.
+    #[must_use]
+    pub fn after_transport(&self, cells: usize, per_cell_error: f64) -> EprPair {
+        // Each depolarising event mixes the state towards the maximally mixed
+        // state, taking F -> 1/4 in the limit; to first order F drops by the
+        // accumulated error times (F - 1/4).
+        let survive = (1.0 - per_cell_error).powi(cells as i32);
+        EprPair {
+            fidelity: 0.25 + (self.fidelity - 0.25) * survive,
+        }
+    }
+
+    /// Degrade the pair by one imperfect local operation of error `p`.
+    #[must_use]
+    pub fn after_operation(&self, p: f64) -> EprPair {
+        EprPair {
+            fidelity: 0.25 + (self.fidelity - 0.25) * (1.0 - p),
+        }
+    }
+}
+
+/// Parameters governing the raw EPR pairs a channel segment produces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EprSource {
+    /// Fidelity of a freshly created pair before any transport.
+    pub creation_fidelity: f64,
+    /// Depolarisation probability per cell of ballistic transport.
+    pub per_cell_error: f64,
+}
+
+impl EprSource {
+    /// The fidelity of a pair after its halves have been distributed to two
+    /// islands separated by `separation_cells` (each half travels half the
+    /// distance, the total travelled is the full separation).
+    #[must_use]
+    pub fn delivered_pair(&self, separation_cells: usize) -> EprPair {
+        EprPair::with_fidelity(self.creation_fidelity)
+            .after_transport(separation_cells, self.per_cell_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_pair_properties() {
+        let p = EprPair::perfect();
+        assert_eq!(p.fidelity, 1.0);
+        assert_eq!(p.infidelity(), 0.0);
+        assert!(p.purifiable());
+    }
+
+    #[test]
+    fn transport_degrades_fidelity_monotonically() {
+        let src = EprSource {
+            creation_fidelity: 0.99,
+            per_cell_error: 1e-5,
+        };
+        let mut last = 1.0;
+        for cells in [0, 10, 100, 1000, 10_000] {
+            let f = src.delivered_pair(cells).fidelity;
+            assert!(f <= last);
+            last = f;
+        }
+        // Degradation saturates at the maximally mixed state, never below.
+        assert!(src.delivered_pair(10_000_000).fidelity >= 0.25);
+    }
+
+    #[test]
+    fn operation_error_compounds() {
+        let p = EprPair::with_fidelity(0.95);
+        let worse = p.after_operation(0.01).after_operation(0.01);
+        assert!(worse.fidelity < p.fidelity);
+        assert!(worse.fidelity > 0.9);
+    }
+
+    #[test]
+    fn purifiability_threshold_is_one_half() {
+        assert!(EprPair::with_fidelity(0.51).purifiable());
+        assert!(!EprPair::with_fidelity(0.49).purifiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn nonsense_fidelity_rejected() {
+        let _ = EprPair::with_fidelity(1.5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Teleportation and entanglement swapping primitives.
+//!
+//! Teleportation consumes one purified EPR pair and two classical bits to
+//! move a qubit state between the pair's end points without transporting the
+//! data ion itself. Entanglement swapping is the same circuit applied to one
+//! half of each of two EPR pairs at a repeater island, splicing them into a
+//! single longer-range pair; it is the step the logarithmic connection
+//! protocol applies in parallel to halve the number of pairs at each stage.
+
+use crate::epr::EprPair;
+use qla_physical::{PhysicalOp, TechnologyParams, Time};
+use serde::{Deserialize, Serialize};
+
+/// Operation counts of one teleportation (equivalently one entanglement
+/// swap): a CNOT, a Hadamard, two measurements, and up to two conditional
+/// Pauli corrections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TeleportOps {
+    /// Two-qubit gates.
+    pub two_qubit_gates: usize,
+    /// Single-qubit gates (basis change plus worst-case corrections).
+    pub single_qubit_gates: usize,
+    /// Measurements.
+    pub measurements: usize,
+    /// Classical bits exchanged.
+    pub classical_bits: usize,
+}
+
+impl TeleportOps {
+    /// The standard teleportation circuit.
+    #[must_use]
+    pub fn standard() -> Self {
+        TeleportOps {
+            two_qubit_gates: 1,
+            single_qubit_gates: 3,
+            measurements: 2,
+            classical_bits: 2,
+        }
+    }
+
+    /// Wall-clock latency of the circuit (measurements in parallel,
+    /// corrections after the classical data arrives; classical processing is
+    /// free at these time scales).
+    #[must_use]
+    pub fn latency(&self, tech: &TechnologyParams) -> Time {
+        tech.op_time(&PhysicalOp::two_qubit())
+            + tech.op_time(&PhysicalOp::single_qubit())
+            + tech.op_time(&PhysicalOp::Measure)
+            + tech.op_time(&PhysicalOp::single_qubit())
+    }
+
+    /// Probability that the teleportation's own local operations corrupt the
+    /// transferred state.
+    #[must_use]
+    pub fn op_failure(&self, tech: &TechnologyParams) -> f64 {
+        let mut ok = 1.0;
+        ok *= (1.0 - tech.failures.double_gate).powi(self.two_qubit_gates as i32);
+        ok *= (1.0 - tech.failures.single_gate).powi(self.single_qubit_gates as i32);
+        ok *= (1.0 - tech.failures.measure).powi(self.measurements as i32);
+        1.0 - ok
+    }
+}
+
+/// The outcome of splicing two EPR pairs at a repeater island by entanglement
+/// swapping: the resulting pair's fidelity (to first order the infidelities
+/// add, plus the swap's own operation error) and the latency of the step.
+#[must_use]
+pub fn entanglement_swap(
+    a: EprPair,
+    b: EprPair,
+    swap_op_error: f64,
+    tech: &TechnologyParams,
+) -> (EprPair, Time) {
+    let combined_infidelity = a.infidelity() + b.infidelity();
+    let fidelity = (1.0 - combined_infidelity).max(0.26);
+    let out = EprPair { fidelity }.after_operation(swap_op_error);
+    (out, TeleportOps::standard().latency(tech))
+}
+
+/// Teleporting a whole encoded logical qubit is a transversal operation: one
+/// teleportation per underlying physical qubit, all executed in parallel,
+/// consuming `data_qubits` purified EPR pairs.
+#[must_use]
+pub fn logical_teleport_pairs(data_qubits: usize) -> usize {
+    data_qubits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_circuit_costs() {
+        let ops = TeleportOps::standard();
+        assert_eq!(ops.two_qubit_gates, 1);
+        assert_eq!(ops.measurements, 2);
+        assert_eq!(ops.classical_bits, 2);
+        let tech = TechnologyParams::expected();
+        // 10 + 1 + 100 + 1 microseconds.
+        assert!((ops.latency(&tech).as_micros() - 112.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn teleportation_failure_tracks_component_failures() {
+        let expected = TeleportOps::standard().op_failure(&TechnologyParams::expected());
+        let current = TeleportOps::standard().op_failure(&TechnologyParams::current());
+        assert!(expected < 1e-6);
+        assert!(current > 1e-2);
+    }
+
+    #[test]
+    fn swapping_adds_infidelities() {
+        let tech = TechnologyParams::expected();
+        let a = EprPair::with_fidelity(0.99);
+        let b = EprPair::with_fidelity(0.98);
+        let (out, latency) = entanglement_swap(a, b, 1e-4, &tech);
+        assert!(out.fidelity < a.fidelity.min(b.fidelity));
+        assert!(out.fidelity > 0.96);
+        assert!(latency.as_micros() > 100.0);
+    }
+
+    #[test]
+    fn swapping_never_produces_an_invalid_state() {
+        let tech = TechnologyParams::expected();
+        let a = EprPair::with_fidelity(0.6);
+        let b = EprPair::with_fidelity(0.55);
+        let (out, _) = entanglement_swap(a, b, 0.05, &tech);
+        assert!(out.fidelity > 0.25 && out.fidelity <= 1.0);
+    }
+
+    #[test]
+    fn logical_teleport_needs_one_pair_per_data_ion() {
+        assert_eq!(logical_teleport_pairs(49), 49);
+    }
+}

@@ -1,0 +1,210 @@
+//! Error-budget accounting: accumulating failure probability and latency over
+//! a sequence of physical operations.
+//!
+//! The QLA design argument repeatedly needs "what is the total failure
+//! probability and wall-clock time of this sequence of elementary
+//! operations?". [`ErrorBudget`] answers that by treating operation failures
+//! as independent events (the same assumption the paper's analytic model
+//! makes) and summing serial latencies.
+
+use crate::ops::PhysicalOp;
+use crate::params::TechnologyParams;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated failure probability and latency of a sequence of operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBudget {
+    /// Probability that at least one operation so far has failed.
+    failure: f64,
+    /// Total serial latency so far.
+    latency: Time,
+    /// Number of operations accumulated.
+    ops: usize,
+}
+
+impl ErrorBudget {
+    /// An empty budget: zero failure probability, zero latency.
+    #[must_use]
+    pub fn new() -> Self {
+        ErrorBudget {
+            failure: 0.0,
+            latency: Time::ZERO,
+            ops: 0,
+        }
+    }
+
+    /// Probability that at least one accumulated operation failed.
+    #[must_use]
+    pub fn failure_probability(&self) -> f64 {
+        self.failure
+    }
+
+    /// Total serial latency accumulated.
+    #[must_use]
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+
+    /// Number of operations accumulated.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.ops
+    }
+
+    /// Add one operation, using `tech` for its cost.
+    pub fn push(&mut self, op: &PhysicalOp, tech: &TechnologyParams) {
+        self.push_raw(tech.op_failure(op), tech.op_time(op));
+    }
+
+    /// Add one operation with explicit failure probability and latency.
+    pub fn push_raw(&mut self, failure: f64, latency: Time) {
+        self.failure = combine_failures(self.failure, failure);
+        self.latency += latency;
+        self.ops += 1;
+    }
+
+    /// Add `n` identical operations.
+    pub fn push_many(&mut self, op: &PhysicalOp, n: usize, tech: &TechnologyParams) {
+        let p = tech.op_failure(op);
+        let t = tech.op_time(op);
+        self.failure = combine_failures(self.failure, repeated_failure(p, n));
+        self.latency += t * n;
+        self.ops += n;
+    }
+
+    /// Merge another budget executed *in parallel* with this one: failure
+    /// probabilities combine, latency is the maximum of the two.
+    #[must_use]
+    pub fn merge_parallel(&self, other: &ErrorBudget) -> ErrorBudget {
+        ErrorBudget {
+            failure: combine_failures(self.failure, other.failure),
+            latency: self.latency.max(other.latency),
+            ops: self.ops + other.ops,
+        }
+    }
+
+    /// Merge another budget executed *after* this one: failure probabilities
+    /// combine, latencies add.
+    #[must_use]
+    pub fn merge_serial(&self, other: &ErrorBudget) -> ErrorBudget {
+        ErrorBudget {
+            failure: combine_failures(self.failure, other.failure),
+            latency: self.latency + other.latency,
+            ops: self.ops + other.ops,
+        }
+    }
+}
+
+impl Default for ErrorBudget {
+    fn default() -> Self {
+        ErrorBudget::new()
+    }
+}
+
+/// Probability that at least one of two independent events with probabilities
+/// `p` and `q` occurs: `1 - (1-p)(1-q)`.
+#[must_use]
+pub fn combine_failures(p: f64, q: f64) -> f64 {
+    1.0 - (1.0 - p) * (1.0 - q)
+}
+
+/// Probability that at least one of `n` independent events of probability `p`
+/// occurs: `1 - (1-p)^n`.
+#[must_use]
+pub fn repeated_failure(p: f64, n: usize) -> f64 {
+    1.0 - (1.0 - p).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_budget_is_free() {
+        let b = ErrorBudget::new();
+        assert_eq!(b.failure_probability(), 0.0);
+        assert_eq!(b.latency(), Time::ZERO);
+        assert_eq!(b.op_count(), 0);
+    }
+
+    #[test]
+    fn push_accumulates_cost() {
+        let tech = TechnologyParams::expected();
+        let mut b = ErrorBudget::new();
+        b.push(&PhysicalOp::two_qubit(), &tech);
+        b.push(&PhysicalOp::Measure, &tech);
+        assert_eq!(b.op_count(), 2);
+        assert!((b.latency().as_micros() - 110.0).abs() < 1e-9);
+        let expected_fail = combine_failures(1e-7, 1e-8);
+        assert!((b.failure_probability() - expected_fail).abs() < 1e-15);
+    }
+
+    #[test]
+    fn push_many_matches_repeated_push() {
+        let tech = TechnologyParams::expected();
+        let mut a = ErrorBudget::new();
+        let mut b = ErrorBudget::new();
+        for _ in 0..50 {
+            a.push(&PhysicalOp::single_qubit(), &tech);
+        }
+        b.push_many(&PhysicalOp::single_qubit(), 50, &tech);
+        assert!((a.failure_probability() - b.failure_probability()).abs() < 1e-12);
+        assert!((a.latency().as_micros() - b.latency().as_micros()).abs() < 1e-9);
+        assert_eq!(a.op_count(), b.op_count());
+    }
+
+    #[test]
+    fn parallel_merge_takes_max_latency() {
+        let tech = TechnologyParams::expected();
+        let mut a = ErrorBudget::new();
+        a.push(&PhysicalOp::Measure, &tech); // 100 us
+        let mut b = ErrorBudget::new();
+        b.push(&PhysicalOp::single_qubit(), &tech); // 1 us
+        let merged = a.merge_parallel(&b);
+        assert_eq!(merged.latency().as_micros(), 100.0);
+        assert_eq!(merged.op_count(), 2);
+    }
+
+    #[test]
+    fn serial_merge_adds_latency() {
+        let tech = TechnologyParams::expected();
+        let mut a = ErrorBudget::new();
+        a.push(&PhysicalOp::Measure, &tech);
+        let mut b = ErrorBudget::new();
+        b.push(&PhysicalOp::single_qubit(), &tech);
+        let merged = a.merge_serial(&b);
+        assert!((merged.latency().as_micros() - 101.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn combine_failures_stays_in_unit_interval(p in 0.0f64..=1.0, q in 0.0f64..=1.0) {
+            let c = combine_failures(p, q);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-12 >= p.max(q));
+        }
+
+        #[test]
+        fn repeated_failure_monotone_in_n(p in 0.0f64..=0.1, n in 1usize..200) {
+            prop_assert!(repeated_failure(p, n + 1) + 1e-15 >= repeated_failure(p, n));
+        }
+
+        #[test]
+        fn budget_failure_never_exceeds_one(ops in prop::collection::vec(0u8..4, 0..100)) {
+            let tech = TechnologyParams::current();
+            let mut b = ErrorBudget::new();
+            for o in ops {
+                let op = match o {
+                    0 => PhysicalOp::single_qubit(),
+                    1 => PhysicalOp::two_qubit(),
+                    2 => PhysicalOp::Measure,
+                    _ => PhysicalOp::Move { cells: 10 },
+                };
+                b.push(&op, &tech);
+            }
+            prop_assert!((0.0..=1.0).contains(&b.failure_probability()));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Ions: the physical carriers of qubits in the QCCD model.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a single trapped ion, unique within one [`crate::CellGrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IonId(pub u32);
+
+impl core::fmt::Display for IonId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ion{}", self.0)
+    }
+}
+
+/// The role an ion plays in the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IonKind {
+    /// Holds one physical qubit of quantum data.
+    Data,
+    /// Sympathetic-cooling ion: kept near the ground state and used to absorb
+    /// vibrational heating from the data ions without measuring them.
+    Cooling,
+    /// One half of an EPR (Bell) pair used by the teleportation interconnect.
+    Epr,
+}
+
+/// The atomic species of an ion.
+///
+/// The NIST experiments the paper cites use ⁹Be⁺ for data and ²⁴Mg⁺ for
+/// sympathetic cooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IonSpecies {
+    /// Beryllium-9 (data qubits in the NIST experiments).
+    Be9,
+    /// Magnesium-24 (sympathetic cooling in the NIST experiments).
+    Mg24,
+    /// Calcium-40 (used by other groups; included for parameter studies).
+    Ca40,
+}
+
+impl IonSpecies {
+    /// The species conventionally used for the given ion role.
+    #[must_use]
+    pub fn default_for(kind: IonKind) -> Self {
+        match kind {
+            IonKind::Data | IonKind::Epr => IonSpecies::Be9,
+            IonKind::Cooling => IonSpecies::Mg24,
+        }
+    }
+}
+
+/// A single trapped ion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ion {
+    /// Unique identifier.
+    pub id: IonId,
+    /// Role of the ion.
+    pub kind: IonKind,
+    /// Atomic species.
+    pub species: IonSpecies,
+}
+
+impl Ion {
+    /// Create a data ion of the default species.
+    #[must_use]
+    pub fn data(id: IonId) -> Self {
+        Ion {
+            id,
+            kind: IonKind::Data,
+            species: IonSpecies::default_for(IonKind::Data),
+        }
+    }
+
+    /// Create a cooling ion of the default species.
+    #[must_use]
+    pub fn cooling(id: IonId) -> Self {
+        Ion {
+            id,
+            kind: IonKind::Cooling,
+            species: IonSpecies::default_for(IonKind::Cooling),
+        }
+    }
+
+    /// Create an EPR-half ion of the default species.
+    #[must_use]
+    pub fn epr(id: IonId) -> Self {
+        Ion {
+            id,
+            kind: IonKind::Epr,
+            species: IonSpecies::default_for(IonKind::Epr),
+        }
+    }
+
+    /// True if the ion carries quantum data (data or EPR ions).
+    #[must_use]
+    pub fn carries_data(&self) -> bool {
+        matches!(self.kind, IonKind::Data | IonKind::Epr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_species_per_role() {
+        assert_eq!(IonSpecies::default_for(IonKind::Data), IonSpecies::Be9);
+        assert_eq!(IonSpecies::default_for(IonKind::Cooling), IonSpecies::Mg24);
+        assert_eq!(IonSpecies::default_for(IonKind::Epr), IonSpecies::Be9);
+    }
+
+    #[test]
+    fn constructors_set_role() {
+        assert_eq!(Ion::data(IonId(1)).kind, IonKind::Data);
+        assert_eq!(Ion::cooling(IonId(2)).kind, IonKind::Cooling);
+        assert_eq!(Ion::epr(IonId(3)).kind, IonKind::Epr);
+    }
+
+    #[test]
+    fn carries_data_excludes_cooling_ions() {
+        assert!(Ion::data(IonId(0)).carries_data());
+        assert!(Ion::epr(IonId(0)).carries_data());
+        assert!(!Ion::cooling(IonId(0)).carries_data());
+    }
+
+    #[test]
+    fn ion_id_displays_compactly() {
+        assert_eq!(format!("{}", IonId(17)), "ion17");
+    }
+}

@@ -1,0 +1,83 @@
+//! The 3-qubit bit-flip code.
+//!
+//! Figure 4 of the paper draws the QLA building blocks "to show the level 1
+//! blocks of a 3-bit error correcting code" for simplicity before generalising
+//! to the Steane code. We provide the same code as a second [`CssCode`]
+//! instance: it protects only against X errors (its "Z stabilizers" are the
+//! two parity checks), which also makes it a useful minimal test vehicle.
+
+use crate::code::CssCode;
+use qla_circuit::Circuit;
+
+/// Construct the 3-qubit bit-flip repetition code.
+///
+/// It corrects a single X error and has no protection against Z errors; the
+/// `x_stabilizers` list is therefore empty and the logical X is weight-1 by
+/// convention (any single X implements a logical flip on the protected basis).
+#[must_use]
+pub fn bitflip_code() -> CssCode {
+    CssCode {
+        name: "3-qubit bit-flip".to_string(),
+        physical_qubits: 3,
+        logical_qubits: 1,
+        distance: 3,
+        x_stabilizers: Vec::new(),
+        z_stabilizers: vec![vec![0, 1], vec![1, 2]],
+        logical_x: vec![0, 1, 2],
+        logical_z: vec![0],
+        // Distance 3 against bit flips only: the code detects and corrects a
+        // single X error, which is the property Figure 4 illustrates.
+    }
+}
+
+/// The encoding circuit |ψ⟩|00⟩ → α|000⟩ + β|111⟩ with the input on qubit 0.
+#[must_use]
+pub fn encode_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.cnot(0, 1).cnot(0, 2);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qla_stabilizer::PauliFrame;
+
+    #[test]
+    fn every_single_bitflip_is_corrected() {
+        let code = bitflip_code();
+        for q in 0..3 {
+            let mut f = PauliFrame::new(3);
+            f.inject_x(q);
+            let syndrome = code.x_error_syndrome(&f, 0);
+            assert_eq!(code.decode_single_x_error(&syndrome), Some(q));
+            assert!(!code.has_logical_x_error(&f, 0));
+        }
+    }
+
+    #[test]
+    fn double_bitflip_becomes_a_logical_error() {
+        let code = bitflip_code();
+        let mut f = PauliFrame::new(3);
+        f.inject_x(0);
+        f.inject_x(1);
+        // The decoder corrects qubit 2 (same syndrome class), leaving the
+        // full logical operator — a logical error.
+        assert!(code.has_logical_x_error(&f, 0));
+    }
+
+    #[test]
+    fn phase_errors_are_invisible_to_this_code() {
+        let code = bitflip_code();
+        let mut f = PauliFrame::new(3);
+        f.inject_z(1);
+        assert!(code.z_error_syndrome(&f, 0).is_empty());
+    }
+
+    #[test]
+    fn encoder_copies_the_input_qubit() {
+        let c = encode_circuit();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.num_qubits(), 3);
+    }
+}

@@ -1,0 +1,270 @@
+//! Generic CSS stabilizer codes.
+//!
+//! A CSS code is specified by its X-type and Z-type stabilizer generator
+//! supports. The QLA uses the Steane [[7,1,3]] code ([`crate::steane`]), and
+//! Figure 4 of the paper illustrates the block structure with a 3-qubit
+//! bit-flip code ([`crate::bitflip`]); both are instances of [`CssCode`].
+
+use qla_stabilizer::{Pauli, PauliFrame, PauliString};
+use serde::{Deserialize, Serialize};
+
+/// A CSS quantum error-correcting code described by stabilizer supports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CssCode {
+    /// Human-readable name, e.g. `"Steane [[7,1,3]]"`.
+    pub name: String,
+    /// Number of physical qubits (`n`).
+    pub physical_qubits: usize,
+    /// Number of logical qubits (`k`); always 1 for the codes used here.
+    pub logical_qubits: usize,
+    /// Code distance (`d`).
+    pub distance: usize,
+    /// Supports of the X-type stabilizer generators.
+    pub x_stabilizers: Vec<Vec<usize>>,
+    /// Supports of the Z-type stabilizer generators.
+    pub z_stabilizers: Vec<Vec<usize>>,
+    /// Support of the logical X operator.
+    pub logical_x: Vec<usize>,
+    /// Support of the logical Z operator.
+    pub logical_z: Vec<usize>,
+}
+
+impl CssCode {
+    /// Number of correctable errors, `⌊(d−1)/2⌋`.
+    #[must_use]
+    pub fn correctable_errors(&self) -> usize {
+        (self.distance - 1) / 2
+    }
+
+    /// The X-type stabilizer generators as Pauli strings.
+    #[must_use]
+    pub fn x_stabilizer_strings(&self) -> Vec<PauliString> {
+        self.x_stabilizers
+            .iter()
+            .map(|s| support_to_string(self.physical_qubits, s, Pauli::X))
+            .collect()
+    }
+
+    /// The Z-type stabilizer generators as Pauli strings.
+    #[must_use]
+    pub fn z_stabilizer_strings(&self) -> Vec<PauliString> {
+        self.z_stabilizers
+            .iter()
+            .map(|s| support_to_string(self.physical_qubits, s, Pauli::Z))
+            .collect()
+    }
+
+    /// The logical X operator as a Pauli string.
+    #[must_use]
+    pub fn logical_x_string(&self) -> PauliString {
+        support_to_string(self.physical_qubits, &self.logical_x, Pauli::X)
+    }
+
+    /// The logical Z operator as a Pauli string.
+    #[must_use]
+    pub fn logical_z_string(&self) -> PauliString {
+        support_to_string(self.physical_qubits, &self.logical_z, Pauli::Z)
+    }
+
+    /// The syndrome revealing **X errors**: the parities of the frame's X
+    /// components over each Z-type stabilizer support. `offset` selects which
+    /// block of the frame the code words occupy.
+    #[must_use]
+    pub fn x_error_syndrome(&self, frame: &PauliFrame, offset: usize) -> Vec<bool> {
+        self.z_stabilizers
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .fold(false, |acc, &q| acc ^ frame.has_x(offset + q))
+            })
+            .collect()
+    }
+
+    /// The syndrome revealing **Z errors**: the parities of the frame's Z
+    /// components over each X-type stabilizer support.
+    #[must_use]
+    pub fn z_error_syndrome(&self, frame: &PauliFrame, offset: usize) -> Vec<bool> {
+        self.x_stabilizers
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .fold(false, |acc, &q| acc ^ frame.has_z(offset + q))
+            })
+            .collect()
+    }
+
+    /// Decode a syndrome produced by the Z-type stabilizers (an X-error
+    /// syndrome) assuming at most one error, returning the qubit to correct,
+    /// or `None` for a trivial syndrome.
+    ///
+    /// Distance-3 CSS codes have a one-to-one map from non-trivial syndromes
+    /// to single-qubit errors; an unmatched syndrome (only possible for
+    /// multi-qubit errors) decodes to the lowest-index qubit whose column is
+    /// closest, which for the perfect-Hamming Steane code never happens.
+    #[must_use]
+    pub fn decode_single_x_error(&self, syndrome: &[bool]) -> Option<usize> {
+        decode_lookup(&self.z_stabilizers, self.physical_qubits, syndrome)
+    }
+
+    /// Decode a syndrome produced by the X-type stabilizers (a Z-error
+    /// syndrome) assuming at most one error.
+    #[must_use]
+    pub fn decode_single_z_error(&self, syndrome: &[bool]) -> Option<usize> {
+        decode_lookup(&self.x_stabilizers, self.physical_qubits, syndrome)
+    }
+
+    /// Whether the X component of the frame (restricted to this code block at
+    /// `offset`) commutes with the logical Z operator — i.e. whether a logical
+    /// X error is present after perfect decoding.
+    #[must_use]
+    pub fn has_logical_x_error(&self, frame: &PauliFrame, offset: usize) -> bool {
+        let mut residual: Vec<bool> = (0..self.physical_qubits)
+            .map(|q| frame.has_x(offset + q))
+            .collect();
+        // Perfect decode: correct according to the syndrome, then test overlap
+        // with logical Z.
+        let syndrome = self.x_error_syndrome(frame, offset);
+        if let Some(q) = self.decode_single_x_error(&syndrome) {
+            residual[q] ^= true;
+        }
+        self.logical_z
+            .iter()
+            .fold(false, |acc, &q| acc ^ residual[q])
+    }
+
+    /// Whether a logical Z error is present after perfect decoding.
+    #[must_use]
+    pub fn has_logical_z_error(&self, frame: &PauliFrame, offset: usize) -> bool {
+        let mut residual: Vec<bool> = (0..self.physical_qubits)
+            .map(|q| frame.has_z(offset + q))
+            .collect();
+        let syndrome = self.z_error_syndrome(frame, offset);
+        if let Some(q) = self.decode_single_z_error(&syndrome) {
+            residual[q] ^= true;
+        }
+        self.logical_x
+            .iter()
+            .fold(false, |acc, &q| acc ^ residual[q])
+    }
+
+    /// Validate the code's internal consistency: stabilizers mutually commute,
+    /// logical operators commute with all stabilizers, and the logical X and Z
+    /// anticommute with each other.
+    ///
+    /// # Panics
+    /// Panics (with a description) if any condition fails. Called from tests
+    /// and from constructors of the built-in codes.
+    pub fn validate(&self) {
+        let all_stabs: Vec<PauliString> = self
+            .x_stabilizer_strings()
+            .into_iter()
+            .chain(self.z_stabilizer_strings())
+            .collect();
+        for (i, a) in all_stabs.iter().enumerate() {
+            for b in &all_stabs[i + 1..] {
+                assert!(a.commutes_with(b), "{}: stabilizers {a} and {b} anticommute", self.name);
+            }
+        }
+        let lx = self.logical_x_string();
+        let lz = self.logical_z_string();
+        for s in &all_stabs {
+            assert!(lx.commutes_with(s), "{}: logical X anticommutes with {s}", self.name);
+            assert!(lz.commutes_with(s), "{}: logical Z anticommutes with {s}", self.name);
+        }
+        assert!(
+            !lx.commutes_with(&lz),
+            "{}: logical X and Z must anticommute",
+            self.name
+        );
+    }
+}
+
+fn support_to_string(n: usize, support: &[usize], pauli: Pauli) -> PauliString {
+    let mut s = PauliString::identity(n);
+    for &q in support {
+        s.set(q, pauli);
+    }
+    s
+}
+
+fn decode_lookup(
+    stabilizers: &[Vec<usize>],
+    n: usize,
+    syndrome: &[bool],
+) -> Option<usize> {
+    if syndrome.iter().all(|&b| !b) {
+        return None;
+    }
+    (0..n).find(|&q| {
+        stabilizers
+            .iter()
+            .zip(syndrome)
+            .all(|(s, &bit)| s.contains(&q) == bit)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steane::steane_code;
+
+    #[test]
+    fn lookup_decoder_identifies_each_single_error() {
+        let code = steane_code();
+        for q in 0..7 {
+            let mut frame = PauliFrame::new(7);
+            frame.inject_x(q);
+            let syndrome = code.x_error_syndrome(&frame, 0);
+            assert_eq!(code.decode_single_x_error(&syndrome), Some(q));
+            let mut zframe = PauliFrame::new(7);
+            zframe.inject_z(q);
+            let syndrome = code.z_error_syndrome(&zframe, 0);
+            assert_eq!(code.decode_single_z_error(&syndrome), Some(q));
+        }
+    }
+
+    #[test]
+    fn trivial_syndrome_decodes_to_no_correction() {
+        let code = steane_code();
+        let frame = PauliFrame::new(7);
+        let syndrome = code.x_error_syndrome(&frame, 0);
+        assert_eq!(code.decode_single_x_error(&syndrome), None);
+    }
+
+    #[test]
+    fn single_errors_never_become_logical_errors() {
+        let code = steane_code();
+        for q in 0..7 {
+            let mut frame = PauliFrame::new(7);
+            frame.inject_x(q);
+            assert!(!code.has_logical_x_error(&frame, 0), "X on {q}");
+            let mut zf = PauliFrame::new(7);
+            zf.inject_z(q);
+            assert!(!code.has_logical_z_error(&zf, 0), "Z on {q}");
+            let mut yf = PauliFrame::new(7);
+            yf.inject_y(q);
+            assert!(!code.has_logical_x_error(&yf, 0));
+            assert!(!code.has_logical_z_error(&yf, 0));
+        }
+    }
+
+    #[test]
+    fn logical_operator_is_a_logical_error() {
+        let code = steane_code();
+        let mut frame = PauliFrame::new(7);
+        for &q in &code.logical_x.clone() {
+            frame.inject_x(q);
+        }
+        assert!(code.has_logical_x_error(&frame, 0));
+    }
+
+    #[test]
+    fn offsets_address_different_blocks() {
+        let code = steane_code();
+        let mut frame = PauliFrame::new(14);
+        frame.inject_x(7 + 3);
+        // Block 0 is clean, block 1 carries the error.
+        assert!(code.x_error_syndrome(&frame, 0).iter().all(|&b| !b));
+        assert!(code.x_error_syndrome(&frame, 7).iter().any(|&b| b));
+    }
+}

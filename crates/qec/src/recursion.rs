@@ -1,0 +1,183 @@
+//! Recursive (concatenated) encoding.
+//!
+//! The QLA achieves arbitrary reliability by concatenating the Steane code
+//! with itself: a level-L logical qubit is built from 7 level-(L−1) logical
+//! qubits, so the failure probability of an encoded operation scales as
+//! `p^(2^L)` while the physical resources scale as `7^L` (times the ancilla
+//! overhead of the QLA block structure). This module captures the resource
+//! side of that trade-off; the reliability side lives in
+//! [`crate::threshold`].
+
+use serde::{Deserialize, Serialize};
+
+/// Number of data ions in one level-1 QLA block (one Steane code block).
+pub const LEVEL1_DATA_IONS: usize = 7;
+/// Ancilla ions attached to each level-1 block for syndrome extraction.
+pub const LEVEL1_ANCILLA_IONS: usize = 7;
+/// Verification ions used while preparing the level-1 ancilla block.
+pub const LEVEL1_VERIFICATION_IONS: usize = 7;
+
+/// Ions in a complete level-1 QLA block (data + ancilla + verification), not
+/// counting sympathetic-cooling ions. Section 4.1: "the level 1 qubit ...
+/// uses 7 ions as data and 7 ions as ancilla, the other 7 are used as
+/// verification bits of the encoding."
+pub const LEVEL1_BLOCK_IONS: usize =
+    LEVEL1_DATA_IONS + LEVEL1_ANCILLA_IONS + LEVEL1_VERIFICATION_IONS;
+
+/// A concatenated Steane code at a given recursion level, together with the
+/// QLA ancilla-block structure of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConcatenatedSteane {
+    /// Recursion level `L ≥ 1`.
+    pub level: u32,
+}
+
+impl ConcatenatedSteane {
+    /// A concatenated code at level `level`.
+    ///
+    /// # Panics
+    /// Panics if `level` is zero (level 0 is a bare physical qubit).
+    #[must_use]
+    pub fn new(level: u32) -> Self {
+        assert!(level >= 1, "recursion level must be at least 1");
+        ConcatenatedSteane { level }
+    }
+
+    /// The QLA design point: level-2 recursion (Section 4.1.2 argues this is
+    /// sufficient for Shor-1024 and beyond).
+    #[must_use]
+    pub fn qla_default() -> Self {
+        ConcatenatedSteane::new(2)
+    }
+
+    /// Number of *data* physical qubits under one logical qubit: `7^L`.
+    #[must_use]
+    pub fn data_qubits(&self) -> u64 {
+        7u64.pow(self.level)
+    }
+
+    /// Number of level-1 blocks making up one logical qubit including the QLA
+    /// ancilla structure of Figure 5.
+    ///
+    /// * Level 1: one data block plus two ancilla blocks = 3 blocks.
+    /// * Level 2: seven groups of (data + 2 ancilla) level-1 blocks for the
+    ///   data conglomeration, plus two identical level-2 ancilla
+    ///   conglomerations on the sides = 3 × 21 = 63 blocks.
+    /// * Level L: `3^L · 7^(L-1)` blocks by the same recursive construction.
+    #[must_use]
+    pub fn level1_blocks(&self) -> u64 {
+        3u64.pow(self.level) * 7u64.pow(self.level - 1)
+    }
+
+    /// Total ion sites (data + ancilla + verification, excluding cooling
+    /// ions) in one logical qubit.
+    #[must_use]
+    pub fn total_ions(&self) -> u64 {
+        self.level1_blocks() * LEVEL1_BLOCK_IONS as u64
+    }
+
+    /// Number of physical operations in a transversal logical gate at this
+    /// level (one physical gate per underlying data qubit).
+    #[must_use]
+    pub fn transversal_gate_ops(&self) -> u64 {
+        self.data_qubits()
+    }
+
+    /// The failure probability of an encoded operation, given the physical
+    /// component failure probability `p0` and a threshold `pth`, using the
+    /// standard concatenation recurrence `p_L = pth · (p0/pth)^(2^L)`.
+    #[must_use]
+    pub fn logical_failure_rate(&self, p0: f64, pth: f64) -> f64 {
+        pth * (p0 / pth).powi(1 << self.level)
+    }
+}
+
+/// One step of the concatenation recurrence: the failure probability after
+/// adding one more level of encoding, `p ↦ p²/pth` (equivalently
+/// `pth·(p/pth)²`).
+#[must_use]
+pub fn concatenation_step(p: f64, pth: f64) -> f64 {
+    pth * (p / pth).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block_ion_counts_match_section_4_1() {
+        assert_eq!(LEVEL1_BLOCK_IONS, 21);
+        let l1 = ConcatenatedSteane::new(1);
+        assert_eq!(l1.data_qubits(), 7);
+        assert_eq!(l1.level1_blocks(), 3);
+        assert_eq!(l1.total_ions(), 63);
+    }
+
+    #[test]
+    fn level2_structure_matches_figure_5() {
+        let l2 = ConcatenatedSteane::qla_default();
+        assert_eq!(l2.level, 2);
+        assert_eq!(l2.data_qubits(), 49);
+        // 7 groups of 3 blocks for the data, plus two identical ancilla
+        // conglomerations: 63 level-1 blocks.
+        assert_eq!(l2.level1_blocks(), 63);
+        assert_eq!(l2.total_ions(), 63 * 21);
+        assert_eq!(l2.transversal_gate_ops(), 49);
+    }
+
+    #[test]
+    fn logical_failure_rate_matches_closed_form() {
+        let c = ConcatenatedSteane::new(2);
+        let p0: f64 = 1e-4;
+        let pth: f64 = 1e-2;
+        let expected = pth * (p0 / pth).powi(4);
+        assert!((c.logical_failure_rate(p0, pth) - expected).abs() < 1e-20);
+    }
+
+    #[test]
+    fn iterating_the_step_reproduces_the_closed_form() {
+        let pth = 7.5e-5;
+        let p0 = 1e-6;
+        let mut p = p0;
+        for _ in 0..3 {
+            p = concatenation_step(p, pth);
+        }
+        let closed = ConcatenatedSteane::new(3).logical_failure_rate(p0, pth);
+        assert!((p - closed).abs() / closed < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn level_zero_rejected() {
+        let _ = ConcatenatedSteane::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn below_threshold_recursion_helps(p0 in 1e-8f64..1e-5) {
+            let pth = 7.5e-5;
+            let l1 = ConcatenatedSteane::new(1).logical_failure_rate(p0, pth);
+            let l2 = ConcatenatedSteane::new(2).logical_failure_rate(p0, pth);
+            prop_assert!(l1 < p0);
+            prop_assert!(l2 < l1);
+        }
+
+        #[test]
+        fn above_threshold_recursion_hurts(p0 in 1e-3f64..1e-1) {
+            let pth = 7.5e-5;
+            let l1 = ConcatenatedSteane::new(1).logical_failure_rate(p0, pth);
+            let l2 = ConcatenatedSteane::new(2).logical_failure_rate(p0, pth);
+            prop_assert!(l1 > p0);
+            prop_assert!(l2 > l1);
+        }
+
+        #[test]
+        fn resources_grow_geometrically(level in 1u32..6) {
+            let a = ConcatenatedSteane::new(level);
+            let b = ConcatenatedSteane::new(level + 1);
+            prop_assert_eq!(b.data_qubits(), a.data_qubits() * 7);
+            prop_assert_eq!(b.level1_blocks(), a.level1_blocks() * 21);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The modular-exponentiation latency model (Section 5).
+//!
+//! The dominant part of Shor's algorithm is computing `f(x) = a^x mod M` in
+//! superposition. The paper follows Van Meter and Itoh's latency-optimised
+//! construction: the latency is
+//!
+//! ```text
+//! MExp = IM × MAC × (QCLA + ArgSet) + 3p × QCLA
+//! ```
+//!
+//! where `IM` is the number of multiplier calls, `MAC` the adder calls per
+//! modular multiplication (reduced by the argument-setting indirection
+//! technique), `QCLA` the Toffoli depth of the carry-lookahead adder and `p`
+//! the extra optimisation qubits. This module exposes that structure with the
+//! constants calibrated against the gate counts of Table 2 (the calibration
+//! is recorded in EXPERIMENTS.md).
+
+use crate::qcla::qcla;
+use serde::{Deserialize, Serialize};
+
+/// Critical-path gate counts of one modular exponentiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModExpCosts {
+    /// Number being factored, in bits.
+    pub bits: usize,
+    /// Multiplier calls (`IM`).
+    pub multiplier_calls: usize,
+    /// Adder calls per modular multiplication (`MAC`).
+    pub adder_calls_per_multiplication: usize,
+    /// Toffoli gates on the critical path.
+    pub toffoli_gates: u64,
+    /// Total gates on the critical path (Toffolis plus the Clifford
+    /// book-keeping of the adders and argument setting).
+    pub total_gates: u64,
+    /// Logical qubits required (registers, multiplier ancilla, adder carry
+    /// trees and Toffoli ancilla).
+    pub logical_qubits: u64,
+}
+
+/// The argument-setting overhead per adder call, in Toffoli-depth units,
+/// calibrated against Table 2.
+const ARGSET_TOFFOLI_OVERHEAD: f64 = 7.07;
+/// Trailing `3p × QCLA` term of the latency equation, calibrated against
+/// Table 2 (it is essentially independent of `n` for the design point used).
+const TAIL_TOFFOLI: f64 = 875.0;
+/// Clifford gates accompanying the adders (carry fan-out CNOTs), per bit².
+const CLIFFORD_PER_BIT_SQUARED: f64 = 2.0;
+/// Clifford gates per bit per adder level.
+const CLIFFORD_PER_BIT_LEVEL: f64 = 19.7;
+/// Base Clifford gates per bit.
+const CLIFFORD_PER_BIT: f64 = 7.0;
+/// Logical qubits per problem bit (exponent register, multiplier units and
+/// their QCLA carry trees), calibrated against Table 2.
+const QUBITS_PER_BIT: f64 = 294.0;
+/// Constant qubit overhead of the design point.
+const QUBITS_CONSTANT: f64 = 675.0;
+/// Small per-level reduction in qubit overhead (deeper adders share more
+/// ancilla), calibrated against Table 2.
+const QUBITS_PER_LEVEL: f64 = 48.0;
+
+/// Compute the modular-exponentiation costs for factoring an `n`-bit number.
+///
+/// # Panics
+/// Panics if `n < 4`.
+#[must_use]
+pub fn modexp_costs(n: usize) -> ModExpCosts {
+    assert!(n >= 4, "modulus must be at least 4 bits");
+    let log = (n as f64).log2().ceil();
+    let adder = qcla(n);
+    // IM: 2n controlled multiplications (one per exponent bit of the 2n-bit
+    // exponent register).
+    let multiplier_calls = 2 * n;
+    // MAC: the indirection/argument-setting technique reduces each modular
+    // multiplication to a logarithmic number of additions on the critical
+    // path.
+    let adder_calls = log as usize;
+    let toffoli = multiplier_calls as f64
+        * adder_calls as f64
+        * (adder.toffoli_depth as f64 + ARGSET_TOFFOLI_OVERHEAD)
+        + TAIL_TOFFOLI;
+    let clifford = CLIFFORD_PER_BIT_SQUARED * (n * n) as f64
+        + (n as f64) * (CLIFFORD_PER_BIT + CLIFFORD_PER_BIT_LEVEL * log);
+    let qubits = QUBITS_PER_BIT * n as f64 + QUBITS_CONSTANT - QUBITS_PER_LEVEL * log;
+    ModExpCosts {
+        bits: n,
+        multiplier_calls,
+        adder_calls_per_multiplication: adder_calls,
+        toffoli_gates: toffoli.round() as u64,
+        total_gates: (toffoli + clifford).round() as u64,
+        logical_qubits: qubits.round() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper.
+    const TABLE2: [(usize, u64, u64, u64); 4] = [
+        (128, 37_971, 63_729, 115_033),
+        (512, 150_771, 397_910, 1_016_295),
+        (1024, 301_251, 964_919, 3_270_582),
+        (2048, 602_259, 2_301_767, 11_148_214),
+    ];
+
+    #[test]
+    fn table2_logical_qubits_are_reproduced() {
+        for (n, qubits, _, _) in TABLE2 {
+            let ours = modexp_costs(n).logical_qubits;
+            let ratio = ours as f64 / qubits as f64;
+            assert!(
+                (0.98..1.02).contains(&ratio),
+                "qubits for n={n}: ours {ours}, paper {qubits}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_toffoli_counts_are_reproduced() {
+        for (n, _, toffoli, _) in TABLE2 {
+            let ours = modexp_costs(n).toffoli_gates;
+            let ratio = ours as f64 / toffoli as f64;
+            assert!(
+                (0.95..1.05).contains(&ratio),
+                "toffoli for n={n}: ours {ours}, paper {toffoli}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_total_gate_counts_are_reproduced() {
+        for (n, _, _, total) in TABLE2 {
+            let ours = modexp_costs(n).total_gates;
+            let ratio = ours as f64 / total as f64;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "total gates for n={n}: ours {ours}, paper {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn costs_scale_superlinearly_but_subquadratically_in_toffolis() {
+        let a = modexp_costs(256).toffoli_gates as f64;
+        let b = modexp_costs(1024).toffoli_gates as f64;
+        let exponent = (b / a).log2() / 2.0; // 1024 = 4× 256
+        assert!(exponent > 1.0 && exponent < 2.0, "scaling exponent {exponent}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_moduli_rejected() {
+        let _ = modexp_costs(2);
+    }
+}

@@ -1,0 +1,200 @@
+//! A functional (small-number) Shor demonstration.
+//!
+//! The full quantum period-finding circuit is far outside the stabilizer
+//! subset ARQ simulates, so — as for any classical reproduction — correctness
+//! of the *algorithm* is demonstrated on small numbers by computing the order
+//! of `a` modulo `N` directly and running the classical post-processing that
+//! Shor's algorithm performs on the measured period. The resource model in
+//! [`crate::resources`] then reports what the same factorisation would cost on
+//! the QLA.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one factoring attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Factorisation {
+    /// The number that was factored.
+    pub n: u64,
+    /// The base whose order was found.
+    pub base: u64,
+    /// The order (period) of the base modulo `n`.
+    pub period: u64,
+    /// The two non-trivial factors.
+    pub factors: (u64, u64),
+}
+
+/// Greatest common divisor.
+#[must_use]
+pub fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Modular exponentiation `base^exp mod modulus` (the classical reference for
+/// the circuit the QLA would run).
+#[must_use]
+pub fn mod_pow(mut base: u64, mut exp: u64, modulus: u64) -> u64 {
+    assert!(modulus > 0, "modulus must be positive");
+    let mut result = 1u64;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = result * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    result
+}
+
+/// The multiplicative order of `a` modulo `n` (the quantity the quantum
+/// Fourier transform extracts), or `None` if `a` shares a factor with `n`.
+#[must_use]
+pub fn order(a: u64, n: u64) -> Option<u64> {
+    if gcd(a, n) != 1 {
+        return None;
+    }
+    let mut value = a % n;
+    let mut r = 1u64;
+    while value != 1 {
+        value = value * (a % n) % n;
+        r += 1;
+        if r > n {
+            return None;
+        }
+    }
+    Some(r)
+}
+
+/// Attempt to factor `n` with a specific base `a`, exactly as the classical
+/// post-processing of Shor's algorithm would.
+#[must_use]
+pub fn factor_with_base(n: u64, a: u64) -> Option<Factorisation> {
+    if n < 4 || n % 2 == 0 {
+        return None;
+    }
+    let g = gcd(a, n);
+    if g != 1 {
+        // Lucky guess: a shares a factor with n.
+        return Some(Factorisation {
+            n,
+            base: a,
+            period: 0,
+            factors: (g, n / g),
+        });
+    }
+    let r = order(a, n)?;
+    if r % 2 != 0 {
+        return None;
+    }
+    let half = mod_pow(a, r / 2, n);
+    if half == n - 1 {
+        return None;
+    }
+    let f1 = gcd(half + 1, n);
+    let f2 = gcd(half + n - 1, n);
+    let factor = if f1 != 1 && f1 != n {
+        f1
+    } else if f2 != 1 && f2 != n {
+        f2
+    } else {
+        return None;
+    };
+    Some(Factorisation {
+        n,
+        base: a,
+        period: r,
+        factors: (factor, n / factor),
+    })
+}
+
+/// Factor `n` by repeatedly choosing random bases, as Shor's algorithm does;
+/// returns the factorisation and the number of attempts (the paper charges
+/// 1.3 expected repetitions of the quantum circuit).
+///
+/// # Panics
+/// Panics if `n` is even, prime, a prime power, or smaller than 15 — those
+/// cases are excluded by the classical preprocessing of the algorithm.
+#[must_use]
+pub fn factor<R: Rng + ?Sized>(n: u64, rng: &mut R, max_attempts: usize) -> (Factorisation, usize) {
+    assert!(n >= 15 && n % 2 == 1, "n must be an odd composite >= 15");
+    for attempt in 1..=max_attempts {
+        let a = rng.random_range(2..n - 1);
+        if let Some(result) = factor_with_base(n, a) {
+            assert_eq!(result.factors.0 * result.factors.1, n);
+            return (result, attempt);
+        }
+    }
+    panic!("failed to factor {n} within {max_attempts} attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mod_pow_matches_naive_computation() {
+        for (b, e, m) in [(2u64, 10, 1000), (7, 15, 15), (3, 0, 17), (5, 117, 391)] {
+            let mut naive = 1u64;
+            for _ in 0..e {
+                naive = naive * b % m;
+            }
+            assert_eq!(mod_pow(b, e, m), naive);
+        }
+    }
+
+    #[test]
+    fn order_of_2_mod_15_is_4() {
+        assert_eq!(order(2, 15), Some(4));
+        assert_eq!(order(7, 15), Some(4));
+        assert_eq!(order(4, 15), Some(2));
+        assert_eq!(order(3, 15), None); // shares a factor
+    }
+
+    #[test]
+    fn factoring_15_with_the_textbook_base() {
+        let f = factor_with_base(15, 7).expect("base 7 factors 15");
+        assert_eq!(f.period, 4);
+        let (a, b) = f.factors;
+        assert_eq!(a.min(b), 3);
+        assert_eq!(a.max(b), 5);
+    }
+
+    #[test]
+    fn factoring_random_semiprimes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1234);
+        for n in [15u64, 21, 33, 35, 77, 91, 143, 187, 221, 323, 437, 899] {
+            let (f, attempts) = factor(n, &mut rng, 64);
+            assert_eq!(f.factors.0 * f.factors.1, n);
+            assert!(f.factors.0 > 1 && f.factors.1 > 1);
+            assert!(attempts <= 64);
+        }
+    }
+
+    #[test]
+    fn odd_periods_and_trivial_roots_are_rejected() {
+        // a = 14 has order 2 mod 15 but 14 = -1 mod 15, which gives trivial
+        // factors and must be rejected.
+        assert!(factor_with_base(15, 14).is_none());
+    }
+
+    #[test]
+    fn shared_factor_bases_shortcut_the_algorithm() {
+        let f = factor_with_base(21, 6).expect("gcd(6,21)=3 is already a factor");
+        assert_eq!(f.period, 0);
+        assert_eq!(f.factors.0 * f.factors.1, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd composite")]
+    fn even_numbers_are_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = factor(16, &mut rng, 8);
+    }
+}

@@ -1,0 +1,52 @@
+//! Stabilizer-formalism quantum simulation for the QLA architecture.
+//!
+//! The paper's ARQ simulator avoids the exponential cost of general quantum
+//! simulation by restricting itself to the stabilizer subset of quantum
+//! mechanics — exactly the subset in which quantum error-correcting circuits
+//! live — and simulating it in polynomial time with the Heisenberg / tableau
+//! representation of Gottesman and the improved CHP algorithm of Aaronson and
+//! Gottesman. This crate implements that engine:
+//!
+//! * [`PauliString`] / [`Pauli`] — the Pauli group, with multiplication,
+//!   commutation checks and weight computation ([`pauli`]).
+//! * [`Tableau`] — the bit-packed CHP tableau supporting H, S, S†, X, Y, Z,
+//!   CNOT, CZ, SWAP, preparation and single-qubit measurement in O(n²) worst
+//!   case per measurement ([`tableau`]).
+//! * [`StabilizerSimulator`] — a convenience wrapper that owns a tableau, a
+//!   seeded RNG and a noise model, used by the ARQ Monte-Carlo experiments
+//!   ([`simulator`]).
+//! * [`PauliFrame`] — a much cheaper error-propagation ("Pauli frame")
+//!   simulator that tracks only the X/Z error pattern through a Clifford
+//!   circuit. For CSS-code Monte Carlo (Figure 7 of the paper) this is
+//!   equivalent to full tableau simulation and orders of magnitude faster
+//!   ([`frame`]).
+//! * [`noise`] — depolarizing and independent X/Z error channels matching the
+//!   component failure rates of Table 1.
+//!
+//! # Example: a Bell pair is perfectly correlated
+//!
+//! ```
+//! use qla_stabilizer::{StabilizerSimulator, CliffordGate};
+//!
+//! let mut sim = StabilizerSimulator::with_seed(2, 42);
+//! sim.apply(CliffordGate::H(0));
+//! sim.apply(CliffordGate::Cnot(0, 1));
+//! let a = sim.measure(0);
+//! let b = sim.measure(1);
+//! assert_eq!(a, b);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod frame;
+pub mod noise;
+pub mod pauli;
+pub mod simulator;
+pub mod tableau;
+
+pub use frame::PauliFrame;
+pub use noise::{DepolarizingChannel, NoiseChannel, PauliErrorKind, TwoQubitDepolarizing};
+pub use pauli::{Pauli, PauliString};
+pub use simulator::StabilizerSimulator;
+pub use tableau::{CliffordGate, MeasurementOutcome, Tableau};

@@ -1,0 +1,288 @@
+//! Stochastic Pauli noise channels.
+//!
+//! The QLA fault-tolerance analysis (Figure 7) models every imperfect physical
+//! operation as the ideal operation followed (or preceded, for measurement) by
+//! a probabilistic Pauli error on the qubits it touches. This module provides
+//! the standard channels:
+//!
+//! * [`DepolarizingChannel`] — with probability `p`, apply a uniformly random
+//!   non-identity Pauli to one qubit.
+//! * [`TwoQubitDepolarizing`] — with probability `p`, apply a uniformly random
+//!   non-identity two-qubit Pauli to a gate's qubit pair.
+//! * independent X/Z flip channels for movement and memory errors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::pauli::Pauli;
+
+/// The kind of error sampled for a single qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PauliErrorKind {
+    /// No error.
+    None,
+    /// X (bit-flip) error.
+    X,
+    /// Y error.
+    Y,
+    /// Z (phase-flip) error.
+    Z,
+}
+
+impl PauliErrorKind {
+    /// Convert into a [`Pauli`] (errors that are "None" become identity).
+    #[must_use]
+    pub fn to_pauli(self) -> Pauli {
+        match self {
+            PauliErrorKind::None => Pauli::I,
+            PauliErrorKind::X => Pauli::X,
+            PauliErrorKind::Y => Pauli::Y,
+            PauliErrorKind::Z => Pauli::Z,
+        }
+    }
+
+    /// True if an actual error occurred.
+    #[must_use]
+    pub fn is_error(self) -> bool {
+        self != PauliErrorKind::None
+    }
+}
+
+/// A noise channel that can be sampled for a single qubit.
+pub trait NoiseChannel {
+    /// Sample the error affecting one qubit.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PauliErrorKind;
+
+    /// The total probability that *some* error occurs.
+    fn error_probability(&self) -> f64;
+}
+
+/// Single-qubit symmetric depolarizing channel: with probability `p` one of
+/// X, Y, Z is applied uniformly at random.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepolarizingChannel {
+    /// Total error probability.
+    pub p: f64,
+}
+
+impl DepolarizingChannel {
+    /// Create a channel with total error probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        DepolarizingChannel { p }
+    }
+}
+
+impl NoiseChannel for DepolarizingChannel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PauliErrorKind {
+        if self.p > 0.0 && rng.random::<f64>() < self.p {
+            match rng.random_range(0..3u8) {
+                0 => PauliErrorKind::X,
+                1 => PauliErrorKind::Y,
+                _ => PauliErrorKind::Z,
+            }
+        } else {
+            PauliErrorKind::None
+        }
+    }
+
+    fn error_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Biased channel applying X with probability `px` and Z with probability
+/// `pz` independently (a Y results when both fire). Used for movement and
+/// memory errors, which are dominated by dephasing in the ion-trap
+/// literature but modelled symmetrically in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndependentXZChannel {
+    /// X-flip probability.
+    pub px: f64,
+    /// Z-flip probability.
+    pub pz: f64,
+}
+
+impl IndependentXZChannel {
+    /// Create a channel with independent X and Z flip probabilities.
+    ///
+    /// # Panics
+    /// Panics if either probability is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(px: f64, pz: f64) -> Self {
+        assert!((0.0..=1.0).contains(&px), "probability {px} out of range");
+        assert!((0.0..=1.0).contains(&pz), "probability {pz} out of range");
+        IndependentXZChannel { px, pz }
+    }
+
+    /// A symmetric channel where X and Z each fire with `p / 2`.
+    #[must_use]
+    pub fn symmetric(p: f64) -> Self {
+        IndependentXZChannel::new(p / 2.0, p / 2.0)
+    }
+}
+
+impl NoiseChannel for IndependentXZChannel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PauliErrorKind {
+        let x = self.px > 0.0 && rng.random::<f64>() < self.px;
+        let z = self.pz > 0.0 && rng.random::<f64>() < self.pz;
+        match (x, z) {
+            (false, false) => PauliErrorKind::None,
+            (true, false) => PauliErrorKind::X,
+            (false, true) => PauliErrorKind::Z,
+            (true, true) => PauliErrorKind::Y,
+        }
+    }
+
+    fn error_probability(&self) -> f64 {
+        1.0 - (1.0 - self.px) * (1.0 - self.pz)
+    }
+}
+
+/// Two-qubit symmetric depolarizing channel: with probability `p`, one of the
+/// 15 non-identity two-qubit Paulis is applied uniformly at random.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoQubitDepolarizing {
+    /// Total error probability.
+    pub p: f64,
+}
+
+impl TwoQubitDepolarizing {
+    /// Create a channel with total error probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        TwoQubitDepolarizing { p }
+    }
+
+    /// Sample the pair of errors affecting the two qubits of a gate.
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (PauliErrorKind, PauliErrorKind) {
+        if self.p <= 0.0 || rng.random::<f64>() >= self.p {
+            return (PauliErrorKind::None, PauliErrorKind::None);
+        }
+        // Uniform over the 15 non-identity two-qubit Paulis.
+        let idx = rng.random_range(1..16u8);
+        let first = match idx / 4 {
+            0 => PauliErrorKind::None,
+            1 => PauliErrorKind::X,
+            2 => PauliErrorKind::Y,
+            _ => PauliErrorKind::Z,
+        };
+        let second = match idx % 4 {
+            0 => PauliErrorKind::None,
+            1 => PauliErrorKind::X,
+            2 => PauliErrorKind::Y,
+            _ => PauliErrorKind::Z,
+        };
+        (first, second)
+    }
+
+    /// The total probability that some error occurs.
+    #[must_use]
+    pub fn error_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn zero_probability_channels_never_fire() {
+        let mut r = rng();
+        let c = DepolarizingChannel::new(0.0);
+        for _ in 0..1000 {
+            assert_eq!(c.sample(&mut r), PauliErrorKind::None);
+        }
+        let c2 = TwoQubitDepolarizing::new(0.0);
+        for _ in 0..1000 {
+            assert_eq!(
+                c2.sample_pair(&mut r),
+                (PauliErrorKind::None, PauliErrorKind::None)
+            );
+        }
+    }
+
+    #[test]
+    fn unit_probability_channel_always_fires() {
+        let mut r = rng();
+        let c = DepolarizingChannel::new(1.0);
+        for _ in 0..100 {
+            assert!(c.sample(&mut r).is_error());
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_p() {
+        let mut r = rng();
+        let c = DepolarizingChannel::new(0.1);
+        let n = 100_000;
+        let errors = (0..n).filter(|_| c.sample(&mut r).is_error()).count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn depolarizing_produces_all_three_paulis() {
+        let mut r = rng();
+        let c = DepolarizingChannel::new(1.0);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            match c.sample(&mut r) {
+                PauliErrorKind::X => seen[0] = true,
+                PauliErrorKind::Y => seen[1] = true,
+                PauliErrorKind::Z => seen[2] = true,
+                PauliErrorKind::None => panic!("p=1 channel must always error"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn two_qubit_channel_never_returns_identity_identity_on_error() {
+        let mut r = rng();
+        let c = TwoQubitDepolarizing::new(1.0);
+        for _ in 0..1000 {
+            let (a, b) = c.sample_pair(&mut r);
+            assert!(a.is_error() || b.is_error());
+        }
+    }
+
+    #[test]
+    fn independent_xz_channel_error_probability() {
+        let c = IndependentXZChannel::new(0.1, 0.2);
+        let expected = 1.0 - 0.9 * 0.8;
+        assert!((c.error_probability() - expected).abs() < 1e-12);
+        let sym = IndependentXZChannel::symmetric(0.2);
+        assert!((sym.px - 0.1).abs() < 1e-12);
+        assert!((sym.pz - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_kind_to_pauli() {
+        assert_eq!(PauliErrorKind::None.to_pauli(), Pauli::I);
+        assert_eq!(PauliErrorKind::X.to_pauli(), Pauli::X);
+        assert_eq!(PauliErrorKind::Y.to_pauli(), Pauli::Y);
+        assert_eq!(PauliErrorKind::Z.to_pauli(), Pauli::Z);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let _ = DepolarizingChannel::new(1.5);
+    }
+}

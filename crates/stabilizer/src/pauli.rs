@@ -1,0 +1,431 @@
+//! The Pauli group: single-qubit Paulis and n-qubit Pauli strings.
+//!
+//! Pauli strings are the language of stabilizer codes: the Steane [[7,1,3]]
+//! code in `qla-qec` is defined by six Pauli-string generators, syndromes are
+//! commutation patterns against those generators, and errors injected by the
+//! noise model are themselves Pauli strings.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-qubit Pauli operator (ignoring global phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// The (x, z) symplectic representation of this Pauli.
+    #[must_use]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Build a Pauli from its symplectic (x, z) representation.
+    #[must_use]
+    pub fn from_xz(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// True if the two Paulis commute.
+    #[must_use]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        // Symplectic product: they anticommute iff x1·z2 + z1·x2 is odd.
+        (x1 && z2) == (z1 && x2)
+    }
+
+    /// Product of two Paulis, ignoring phase.
+    #[must_use]
+    pub fn mul_ignoring_phase(self, other: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+}
+
+impl core::fmt::Display for Pauli {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// An n-qubit Pauli string with a global phase of `i^phase`.
+///
+/// Multiplication tracks the phase exactly (mod 4), so products of Hermitian
+/// strings correctly come out as `+P` or `−P`; the `±i` intermediate phases
+/// only appear transiently inside products.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PauliString {
+    xs: Vec<bool>,
+    zs: Vec<bool>,
+    /// Global phase exponent: the operator is `i^phase · P`.
+    phase: u8,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            xs: vec![false; n],
+            zs: vec![false; n],
+            phase: 0,
+        }
+    }
+
+    /// Parse a string such as `"XIZZY"` or `"-XIZZY"`.
+    ///
+    /// # Panics
+    /// Panics if a character other than `I`, `X`, `Y`, `Z` (or a leading `-`
+    /// or `+`) is present.
+    #[must_use]
+    pub fn from_str_repr(s: &str) -> Self {
+        let (negative, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mut xs = Vec::with_capacity(body.len());
+        let mut zs = Vec::with_capacity(body.len());
+        for c in body.chars() {
+            let p = match c {
+                'I' | 'i' => Pauli::I,
+                'X' | 'x' => Pauli::X,
+                'Y' | 'y' => Pauli::Y,
+                'Z' | 'z' => Pauli::Z,
+                other => panic!("invalid Pauli character {other:?} in {s:?}"),
+            };
+            let (x, z) = p.xz();
+            xs.push(x);
+            zs.push(z);
+        }
+        PauliString {
+            xs,
+            zs,
+            phase: if negative { 2 } else { 0 },
+        }
+    }
+
+    /// Number of qubits the string acts on.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True if the string acts on zero qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The Pauli acting on qubit `q`.
+    #[must_use]
+    pub fn get(&self, q: usize) -> Pauli {
+        Pauli::from_xz(self.xs[q], self.zs[q])
+    }
+
+    /// Set the Pauli acting on qubit `q`.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        let (x, z) = p.xz();
+        self.xs[q] = x;
+        self.zs[q] = z;
+    }
+
+    /// The overall sign: `true` means the string carries a −1 phase.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.phase == 2
+    }
+
+    /// The global phase exponent `k` such that the operator is `i^k · P`.
+    #[must_use]
+    pub fn phase_exponent(&self) -> u8 {
+        self.phase
+    }
+
+    /// Flip the overall sign (multiply the phase by −1).
+    pub fn negate(&mut self) {
+        self.phase = (self.phase + 2) % 4;
+    }
+
+    /// Number of non-identity tensor factors.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.xs
+            .iter()
+            .zip(&self.zs)
+            .filter(|(&x, &z)| x || z)
+            .count()
+    }
+
+    /// True if this string is the identity (any sign).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.weight() == 0
+    }
+
+    /// True if the two strings commute.
+    ///
+    /// # Panics
+    /// Panics if the strings have different lengths.
+    #[must_use]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(self.len(), other.len(), "Pauli string length mismatch");
+        let mut anticommutations = 0usize;
+        for q in 0..self.len() {
+            if !self.get(q).commutes_with(other.get(q)) {
+                anticommutations += 1;
+            }
+        }
+        anticommutations % 2 == 0
+    }
+
+    /// Multiply by another string in place (`self ← self · other`), tracking
+    /// the global phase exactly modulo 4.
+    ///
+    /// # Panics
+    /// Panics if the strings have different lengths.
+    pub fn multiply_by(&mut self, other: &PauliString) {
+        assert_eq!(self.len(), other.len(), "Pauli string length mismatch");
+        let mut phase = (self.phase + other.phase) % 4;
+        for q in 0..self.len() {
+            phase = (phase + pauli_product_phase(self.get(q), other.get(q))) % 4;
+            self.xs[q] ^= other.xs[q];
+            self.zs[q] ^= other.zs[q];
+        }
+        self.phase = phase;
+    }
+
+    /// The X-part of the string as a boolean vector.
+    #[must_use]
+    pub fn x_bits(&self) -> &[bool] {
+        &self.xs
+    }
+
+    /// The Z-part of the string as a boolean vector.
+    #[must_use]
+    pub fn z_bits(&self) -> &[bool] {
+        &self.zs
+    }
+
+    /// Restrict to the X-type part (drop all Z components).
+    #[must_use]
+    pub fn x_part(&self) -> PauliString {
+        PauliString {
+            xs: self.xs.clone(),
+            zs: vec![false; self.len()],
+            phase: 0,
+        }
+    }
+
+    /// Restrict to the Z-type part (drop all X components).
+    #[must_use]
+    pub fn z_part(&self) -> PauliString {
+        PauliString {
+            xs: vec![false; self.len()],
+            zs: self.zs.clone(),
+            phase: 0,
+        }
+    }
+
+    /// Build a weight-1 string with Pauli `p` on qubit `q` of `n`.
+    #[must_use]
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        let mut s = PauliString::identity(n);
+        s.set(q, p);
+        s
+    }
+}
+
+/// The phase exponent `k` (power of `i`) arising when multiplying two
+/// single-qubit Paulis `a · b = i^k · c`.
+fn pauli_product_phase(a: Pauli, b: Pauli) -> u8 {
+    use Pauli::*;
+    match (a, b) {
+        (I, _) | (_, I) => 0,
+        (X, X) | (Y, Y) | (Z, Z) => 0,
+        (X, Y) | (Y, Z) | (Z, X) => 1,
+        (Y, X) | (Z, Y) | (X, Z) => 3,
+    }
+}
+
+impl core::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.phase {
+            1 => write!(f, "i")?,
+            2 => write!(f, "-")?,
+            3 => write!(f, "-i")?,
+            _ => {}
+        }
+        for q in 0..self.len() {
+            write!(f, "{}", self.get(q))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_pauli_commutation_table() {
+        use Pauli::*;
+        assert!(I.commutes_with(X));
+        assert!(X.commutes_with(X));
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+        assert!(Z.commutes_with(Z));
+    }
+
+    #[test]
+    fn pauli_multiplication_ignoring_phase() {
+        use Pauli::*;
+        assert_eq!(X.mul_ignoring_phase(Z), Y);
+        assert_eq!(X.mul_ignoring_phase(X), I);
+        assert_eq!(Y.mul_ignoring_phase(Z), X);
+        assert_eq!(I.mul_ignoring_phase(Y), Y);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = PauliString::from_str_repr("XIZZY");
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.get(0), Pauli::X);
+        assert_eq!(s.get(1), Pauli::I);
+        assert_eq!(s.get(4), Pauli::Y);
+        assert_eq!(format!("{s}"), "XIZZY");
+        let neg = PauliString::from_str_repr("-ZZ");
+        assert!(neg.is_negative());
+        assert_eq!(format!("{neg}"), "-ZZ");
+    }
+
+    #[test]
+    fn weight_counts_non_identity_factors() {
+        assert_eq!(PauliString::from_str_repr("IIII").weight(), 0);
+        assert_eq!(PauliString::from_str_repr("XIYZ").weight(), 3);
+        assert!(PauliString::identity(4).is_identity());
+    }
+
+    #[test]
+    fn steane_stabilizers_commute() {
+        // The six generators of the Steane [[7,1,3]] code.
+        let gens = [
+            "IIIXXXX", "IXXIIXX", "XIXIXIX", "IIIZZZZ", "IZZIIZZ", "ZIZIZIZ",
+        ];
+        for a in &gens {
+            for b in &gens {
+                let pa = PauliString::from_str_repr(a);
+                let pb = PauliString::from_str_repr(b);
+                assert!(pa.commutes_with(&pb), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn anticommutation_of_overlapping_x_and_z() {
+        let x = PauliString::from_str_repr("XII");
+        let z = PauliString::from_str_repr("ZII");
+        assert!(!x.commutes_with(&z));
+        let zz = PauliString::from_str_repr("ZZI");
+        let xx = PauliString::from_str_repr("XXI");
+        assert!(zz.commutes_with(&xx));
+    }
+
+    #[test]
+    fn multiplication_is_componentwise_xor() {
+        let mut a = PauliString::from_str_repr("XXI");
+        let b = PauliString::from_str_repr("IXZ");
+        a.multiply_by(&b);
+        assert_eq!(format!("{a}"), "XIZ");
+    }
+
+    #[test]
+    fn x_and_z_parts_split_a_y() {
+        let y = PauliString::from_str_repr("YIY");
+        assert_eq!(format!("{}", y.x_part()), "XIX");
+        assert_eq!(format!("{}", y.z_part()), "ZIZ");
+    }
+
+    #[test]
+    fn single_builder() {
+        let s = PauliString::single(4, 2, Pauli::Z);
+        assert_eq!(format!("{s}"), "IIZI");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn commutation_requires_equal_length() {
+        let a = PauliString::identity(2);
+        let b = PauliString::identity(3);
+        let _ = a.commutes_with(&b);
+    }
+
+    fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+        prop::collection::vec(0u8..4, n).prop_map(move |v| {
+            let mut s = PauliString::identity(v.len());
+            for (q, p) in v.iter().enumerate() {
+                s.set(
+                    q,
+                    match p {
+                        0 => Pauli::I,
+                        1 => Pauli::X,
+                        2 => Pauli::Y,
+                        _ => Pauli::Z,
+                    },
+                );
+            }
+            s
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn commutation_is_symmetric(a in arb_pauli_string(8), b in arb_pauli_string(8)) {
+            prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        }
+
+        #[test]
+        fn self_multiplication_gives_identity(a in arb_pauli_string(8)) {
+            let mut c = a.clone();
+            c.multiply_by(&a);
+            prop_assert!(c.is_identity());
+        }
+
+        #[test]
+        fn everything_commutes_with_itself(a in arb_pauli_string(10)) {
+            prop_assert!(a.commutes_with(&a));
+        }
+
+        #[test]
+        fn weight_bounded_by_length(a in arb_pauli_string(12)) {
+            prop_assert!(a.weight() <= a.len());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! A convenience wrapper tying the tableau to a seeded RNG and optional
+//! gate-level noise.
+//!
+//! [`StabilizerSimulator`] is the object the ARQ layer drives: it accepts
+//! Clifford gates, resolves random measurement outcomes with a reproducible
+//! RNG, and (optionally) injects depolarizing noise after every gate it
+//! executes, matching the error model of Section 4.1.3.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::noise::{DepolarizingChannel, NoiseChannel, TwoQubitDepolarizing};
+use crate::pauli::{Pauli, PauliString};
+use crate::tableau::{CliffordGate, MeasurementOutcome, Tableau};
+
+/// Gate-level noise configuration for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateNoise {
+    /// Noise applied after every single-qubit gate.
+    pub single_qubit: DepolarizingChannel,
+    /// Noise applied after every two-qubit gate (to both qubits).
+    pub two_qubit: TwoQubitDepolarizing,
+    /// Probability that a measurement reports the wrong value.
+    pub measurement_flip: f64,
+    /// Probability that a freshly prepared qubit is flipped.
+    pub preparation_flip: f64,
+}
+
+impl GateNoise {
+    /// No noise at all (ideal Clifford simulation).
+    #[must_use]
+    pub fn noiseless() -> Self {
+        GateNoise {
+            single_qubit: DepolarizingChannel::new(0.0),
+            two_qubit: TwoQubitDepolarizing::new(0.0),
+            measurement_flip: 0.0,
+            preparation_flip: 0.0,
+        }
+    }
+
+    /// Uniform noise: every operation fails with probability `p`.
+    #[must_use]
+    pub fn uniform(p: f64) -> Self {
+        GateNoise {
+            single_qubit: DepolarizingChannel::new(p),
+            two_qubit: TwoQubitDepolarizing::new(p),
+            measurement_flip: p,
+            preparation_flip: p,
+        }
+    }
+}
+
+/// A stabilizer-state simulator with a reproducible RNG and optional noise.
+#[derive(Debug, Clone)]
+pub struct StabilizerSimulator {
+    tableau: Tableau,
+    rng: ChaCha8Rng,
+    noise: GateNoise,
+}
+
+impl StabilizerSimulator {
+    /// Create a noiseless simulator for `n` qubits with the given RNG seed.
+    #[must_use]
+    pub fn with_seed(n: usize, seed: u64) -> Self {
+        StabilizerSimulator {
+            tableau: Tableau::new(n),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            noise: GateNoise::noiseless(),
+        }
+    }
+
+    /// Create a noisy simulator.
+    #[must_use]
+    pub fn with_noise(n: usize, seed: u64, noise: GateNoise) -> Self {
+        StabilizerSimulator {
+            tableau: Tableau::new(n),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            noise,
+        }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.tableau.num_qubits()
+    }
+
+    /// Access the underlying tableau (read-only).
+    #[must_use]
+    pub fn tableau(&self) -> &Tableau {
+        &self.tableau
+    }
+
+    /// Apply a Clifford gate, followed by the configured gate noise.
+    pub fn apply(&mut self, gate: CliffordGate) {
+        match gate {
+            CliffordGate::PrepZ(q) => {
+                let bit = self.rng.random::<bool>();
+                self.tableau.prepare_z(q, bit);
+                if self.noise.preparation_flip > 0.0
+                    && self.rng.random::<f64>() < self.noise.preparation_flip
+                {
+                    self.tableau.pauli_x(q);
+                }
+                return;
+            }
+            other => self.tableau.apply(other),
+        }
+        self.inject_gate_noise(gate);
+    }
+
+    /// Apply a gate with *no* noise even if noise is configured (used for the
+    /// ideal decoding steps of a Monte-Carlo trial).
+    pub fn apply_ideal(&mut self, gate: CliffordGate) {
+        match gate {
+            CliffordGate::PrepZ(q) => {
+                let bit = self.rng.random::<bool>();
+                self.tableau.prepare_z(q, bit);
+            }
+            other => self.tableau.apply(other),
+        }
+    }
+
+    fn inject_gate_noise(&mut self, gate: CliffordGate) {
+        let (a, b) = gate.qubits();
+        match b {
+            None => {
+                let err = self.noise.single_qubit.sample(&mut self.rng);
+                self.apply_pauli(a, err.to_pauli());
+            }
+            Some(b) => {
+                let (ea, eb) = self.noise.two_qubit.sample_pair(&mut self.rng);
+                self.apply_pauli(a, ea.to_pauli());
+                self.apply_pauli(b, eb.to_pauli());
+            }
+        }
+    }
+
+    /// Apply a bare Pauli to one qubit (no noise follows).
+    pub fn apply_pauli(&mut self, q: usize, p: Pauli) {
+        match p {
+            Pauli::I => {}
+            Pauli::X => self.tableau.pauli_x(q),
+            Pauli::Y => self.tableau.pauli_y(q),
+            Pauli::Z => self.tableau.pauli_z(q),
+        }
+    }
+
+    /// Apply a Pauli string (e.g. an injected error pattern).
+    pub fn apply_pauli_string(&mut self, p: &PauliString) {
+        self.tableau.apply_pauli_string(p);
+    }
+
+    /// Measure a qubit in the Z basis, including measurement-flip noise.
+    pub fn measure(&mut self, q: usize) -> bool {
+        let random_bit = self.rng.random::<bool>();
+        let outcome = self.tableau.measure_with(q, random_bit);
+        let mut value = outcome.value;
+        if self.noise.measurement_flip > 0.0
+            && self.rng.random::<f64>() < self.noise.measurement_flip
+        {
+            value = !value;
+        }
+        value
+    }
+
+    /// Measure a qubit ideally (no measurement-flip noise).
+    pub fn measure_ideal(&mut self, q: usize) -> MeasurementOutcome {
+        let random_bit = self.rng.random::<bool>();
+        self.tableau.measure_with(q, random_bit)
+    }
+
+    /// True if the given Pauli string stabilizes the current state.
+    #[must_use]
+    pub fn stabilizes(&self, p: &PauliString) -> bool {
+        self.tableau.stabilizes(p)
+    }
+
+    /// Direct access to the RNG, for callers that need correlated randomness.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_bell_pair_is_correlated() {
+        for seed in 0..20 {
+            let mut sim = StabilizerSimulator::with_seed(2, seed);
+            sim.apply(CliffordGate::H(0));
+            sim.apply(CliffordGate::Cnot(0, 1));
+            assert_eq!(sim.measure(0), sim.measure(1));
+        }
+    }
+
+    #[test]
+    fn ghz_chain_fully_correlated_across_seeds() {
+        for seed in 0..10 {
+            let n = 8;
+            let mut sim = StabilizerSimulator::with_seed(n, seed);
+            sim.apply(CliffordGate::H(0));
+            for q in 0..n - 1 {
+                sim.apply(CliffordGate::Cnot(q, q + 1));
+            }
+            let first = sim.measure(0);
+            for q in 1..n {
+                assert_eq!(sim.measure(q), first);
+            }
+        }
+    }
+
+    #[test]
+    fn prep_z_resets_qubits() {
+        let mut sim = StabilizerSimulator::with_seed(1, 7);
+        sim.apply(CliffordGate::H(0));
+        sim.apply(CliffordGate::PrepZ(0));
+        assert!(!sim.measure(0));
+    }
+
+    #[test]
+    fn full_noise_flips_measurements() {
+        // With p = 1 depolarizing noise on every gate, the |0> -> H -> H -> |0>
+        // round trip will almost surely be disturbed across many seeds.
+        let mut disturbed = 0;
+        for seed in 0..50 {
+            let mut sim = StabilizerSimulator::with_noise(1, seed, GateNoise::uniform(1.0));
+            sim.apply(CliffordGate::H(0));
+            sim.apply(CliffordGate::H(0));
+            if sim.measure(0) {
+                disturbed += 1;
+            }
+        }
+        assert!(disturbed > 10, "noise had almost no effect: {disturbed}");
+    }
+
+    #[test]
+    fn ideal_application_ignores_noise() {
+        for seed in 0..20 {
+            let mut sim = StabilizerSimulator::with_noise(1, seed, GateNoise::uniform(1.0));
+            sim.apply_ideal(CliffordGate::H(0));
+            sim.apply_ideal(CliffordGate::H(0));
+            let m = sim.measure_ideal(0);
+            assert!(!m.value);
+        }
+    }
+
+    #[test]
+    fn measurement_flip_noise_changes_reported_value() {
+        let noise = GateNoise {
+            single_qubit: DepolarizingChannel::new(0.0),
+            two_qubit: TwoQubitDepolarizing::new(0.0),
+            measurement_flip: 1.0,
+            preparation_flip: 0.0,
+        };
+        let mut sim = StabilizerSimulator::with_noise(1, 3, noise);
+        // State is |0>, but the detector always lies.
+        assert!(sim.measure(0));
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let run = |seed| {
+            let mut sim = StabilizerSimulator::with_noise(4, seed, GateNoise::uniform(0.2));
+            let mut bits = Vec::new();
+            for q in 0..4 {
+                sim.apply(CliffordGate::H(q));
+            }
+            for q in 0..4 {
+                bits.push(sim.measure(q));
+            }
+            bits
+        };
+        assert_eq!(run(99), run(99));
+    }
+}

@@ -1,0 +1,658 @@
+//! The CHP (Aaronson–Gottesman) stabilizer tableau.
+//!
+//! The tableau tracks, for an `n`-qubit system, `n` *destabilizer* and `n`
+//! *stabilizer* generators as rows of symplectic bits plus a sign bit. All
+//! Clifford gates update the tableau in O(n) time; measurement takes O(n²) in
+//! the worst (random-outcome) case. This polynomial cost is what lets ARQ
+//! simulate hundreds of physical ion qubits — a level-2 Steane logical qubit
+//! plus its ancilla blocks — on a workstation.
+
+use crate::pauli::{Pauli, PauliString};
+use serde::{Deserialize, Serialize};
+
+/// A Clifford-group gate (plus preparation), the instruction set of the
+/// tableau backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CliffordGate {
+    /// Hadamard on a qubit.
+    H(usize),
+    /// Phase gate S on a qubit.
+    S(usize),
+    /// Inverse phase gate S† on a qubit.
+    Sdg(usize),
+    /// Pauli-X on a qubit.
+    X(usize),
+    /// Pauli-Y on a qubit.
+    Y(usize),
+    /// Pauli-Z on a qubit.
+    Z(usize),
+    /// Controlled-NOT (control, target).
+    Cnot(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// SWAP two qubits.
+    Swap(usize, usize),
+    /// Re-prepare a qubit in |0⟩ (measure and conditionally flip).
+    PrepZ(usize),
+}
+
+impl CliffordGate {
+    /// The qubits the gate acts on.
+    #[must_use]
+    pub fn qubits(&self) -> (usize, Option<usize>) {
+        match *self {
+            CliffordGate::H(q)
+            | CliffordGate::S(q)
+            | CliffordGate::Sdg(q)
+            | CliffordGate::X(q)
+            | CliffordGate::Y(q)
+            | CliffordGate::Z(q)
+            | CliffordGate::PrepZ(q) => (q, None),
+            CliffordGate::Cnot(a, b) | CliffordGate::Cz(a, b) | CliffordGate::Swap(a, b) => {
+                (a, Some(b))
+            }
+        }
+    }
+}
+
+/// The result of a Z-basis measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementOutcome {
+    /// The measured bit (false = |0⟩, true = |1⟩).
+    pub value: bool,
+    /// Whether the outcome was determined by the state (true) or chosen
+    /// uniformly at random because the qubit was in superposition (false).
+    pub deterministic: bool,
+}
+
+/// The Aaronson–Gottesman tableau for `n` qubits.
+///
+/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers, and one extra
+/// scratch row is kept for deterministic-measurement evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// X bit-matrix, `(2n + 1) * words` words, row-major.
+    x: Vec<u64>,
+    /// Z bit-matrix, same shape.
+    z: Vec<u64>,
+    /// Sign bits, one per row (0 = +, 1 = −).
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// Create a tableau for `n` qubits in the all-|0⟩ state.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            // Destabilizer i = X_i, stabilizer i = Z_i.
+            t.set_x(i, i, true);
+            t.set_z(i + n, i, true);
+        }
+        t
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn bit_index(&self, row: usize, q: usize) -> (usize, u64) {
+        (row * self.words + q / 64, 1u64 << (q % 64))
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        let (idx, mask) = self.bit_index(row, q);
+        self.x[idx] & mask != 0
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        let (idx, mask) = self.bit_index(row, q);
+        self.z[idx] & mask != 0
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let (idx, mask) = self.bit_index(row, q);
+        if v {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let (idx, mask) = self.bit_index(row, q);
+        if v {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    /// Apply a Clifford gate.
+    ///
+    /// `PrepZ` requires randomness to resolve a possible superposition and is
+    /// therefore not accepted here; use [`Tableau::prepare_z`].
+    ///
+    /// # Panics
+    /// Panics if a qubit index is out of range, if a two-qubit gate addresses
+    /// the same qubit twice, or if the gate is `PrepZ`.
+    pub fn apply(&mut self, gate: CliffordGate) {
+        match gate {
+            CliffordGate::H(q) => self.hadamard(q),
+            CliffordGate::S(q) => self.phase(q),
+            CliffordGate::Sdg(q) => {
+                // S† = S·S·S.
+                self.phase(q);
+                self.phase(q);
+                self.phase(q);
+            }
+            CliffordGate::X(q) => self.pauli_x(q),
+            CliffordGate::Y(q) => self.pauli_y(q),
+            CliffordGate::Z(q) => self.pauli_z(q),
+            CliffordGate::Cnot(c, t) => self.cnot(c, t),
+            CliffordGate::Cz(a, b) => {
+                self.hadamard(b);
+                self.cnot(a, b);
+                self.hadamard(b);
+            }
+            CliffordGate::Swap(a, b) => {
+                self.cnot(a, b);
+                self.cnot(b, a);
+                self.cnot(a, b);
+            }
+            CliffordGate::PrepZ(_) => {
+                panic!("PrepZ needs an RNG; use Tableau::prepare_z or StabilizerSimulator")
+            }
+        }
+    }
+
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n, "qubit index {q} out of range (n = {})", self.n);
+    }
+
+    /// Hadamard gate.
+    pub fn hadamard(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] ^= true;
+            }
+            self.set_x(row, q, zv);
+            self.set_z(row, q, xv);
+        }
+    }
+
+    /// Phase gate S.
+    pub fn phase(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            let xv = self.get_x(row, q);
+            let zv = self.get_z(row, q);
+            if xv && zv {
+                self.r[row] ^= true;
+            }
+            self.set_z(row, q, zv ^ xv);
+        }
+    }
+
+    /// Pauli X.
+    pub fn pauli_x(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) {
+                self.r[row] ^= true;
+            }
+        }
+    }
+
+    /// Pauli Z.
+    pub fn pauli_z(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) {
+                self.r[row] ^= true;
+            }
+        }
+    }
+
+    /// Pauli Y.
+    pub fn pauli_y(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) ^ self.get_z(row, q) {
+                self.r[row] ^= true;
+            }
+        }
+    }
+
+    /// Controlled-NOT.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        self.check_qubit(control);
+        self.check_qubit(target);
+        assert_ne!(control, target, "CNOT control and target must differ");
+        for row in 0..2 * self.n {
+            let xc = self.get_x(row, control);
+            let zc = self.get_z(row, control);
+            let xt = self.get_x(row, target);
+            let zt = self.get_z(row, target);
+            if xc && zt && (xt == zc) {
+                self.r[row] ^= true;
+            }
+            self.set_x(row, target, xt ^ xc);
+            self.set_z(row, control, zc ^ zt);
+        }
+    }
+
+    /// Apply a whole Pauli string as a gate (used for error injection).
+    ///
+    /// # Panics
+    /// Panics if the string length does not match the qubit count.
+    pub fn apply_pauli_string(&mut self, p: &PauliString) {
+        assert_eq!(p.len(), self.n, "Pauli string length mismatch");
+        for q in 0..self.n {
+            match p.get(q) {
+                Pauli::I => {}
+                Pauli::X => self.pauli_x(q),
+                Pauli::Y => self.pauli_y(q),
+                Pauli::Z => self.pauli_z(q),
+            }
+        }
+    }
+
+    /// The phase-exponent contribution of multiplying row `i` into row `h`
+    /// (the `g` function of Aaronson–Gottesman), accumulated over all qubits;
+    /// returns the new sign of row `h`.
+    fn rowsum_sign(&self, h: usize, i: usize) -> bool {
+        // Phase exponent accumulated modulo 4; signs contribute 2 each.
+        let mut exponent: i64 = 0;
+        if self.r[h] {
+            exponent += 2;
+        }
+        if self.r[i] {
+            exponent += 2;
+        }
+        for q in 0..self.n {
+            let x1 = self.get_x(i, q);
+            let z1 = self.get_z(i, q);
+            let x2 = self.get_x(h, q);
+            let z2 = self.get_z(h, q);
+            let g: i64 = match (x1, z1) {
+                (false, false) => 0,
+                (true, true) => (i64::from(z2)) - (i64::from(x2)),
+                (true, false) => i64::from(z2) * (2 * i64::from(x2) - 1),
+                (false, true) => i64::from(x2) * (1 - 2 * i64::from(z2)),
+            };
+            exponent += g;
+        }
+        // For stabilizer–stabilizer products the exponent is always even
+        // (commuting Hermitian operators). Destabilizer rows may pick up an
+        // odd exponent when combined with the stabilizer they anticommute
+        // with; their sign is never observable, so mapping ±i to + is safe.
+        exponent.rem_euclid(4) == 2
+    }
+
+    /// Row `h` ← row `h` · row `i` (the Aaronson–Gottesman `rowsum`).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let new_sign = self.rowsum_sign(h, i);
+        for w in 0..self.words {
+            let xi = self.x[i * self.words + w];
+            let zi = self.z[i * self.words + w];
+            self.x[h * self.words + w] ^= xi;
+            self.z[h * self.words + w] ^= zi;
+        }
+        self.r[h] = new_sign;
+    }
+
+    /// Measure qubit `q` in the Z basis. `random_bit` supplies the outcome in
+    /// the non-deterministic case.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range.
+    pub fn measure_with(&mut self, q: usize, random_bit: bool) -> MeasurementOutcome {
+        self.check_qubit(q);
+        let n = self.n;
+        // Look for a stabilizer row with an X component on q.
+        let mut p_row = None;
+        for row in n..2 * n {
+            if self.get_x(row, q) {
+                p_row = Some(row);
+                break;
+            }
+        }
+        if let Some(p) = p_row {
+            // Random outcome.
+            for row in 0..2 * n {
+                if row != p && self.get_x(row, q) {
+                    self.rowsum(row, p);
+                }
+            }
+            // Destabilizer p-n becomes the old stabilizer row p.
+            for w in 0..self.words {
+                self.x[(p - n) * self.words + w] = self.x[p * self.words + w];
+                self.z[(p - n) * self.words + w] = self.z[p * self.words + w];
+            }
+            self.r[p - n] = self.r[p];
+            // Row p becomes ±Z_q with the random outcome as its sign.
+            for w in 0..self.words {
+                self.x[p * self.words + w] = 0;
+                self.z[p * self.words + w] = 0;
+            }
+            self.set_z(p, q, true);
+            self.r[p] = random_bit;
+            MeasurementOutcome {
+                value: random_bit,
+                deterministic: false,
+            }
+        } else {
+            // Deterministic outcome: compute it in the scratch row.
+            let scratch = 2 * n;
+            for w in 0..self.words {
+                self.x[scratch * self.words + w] = 0;
+                self.z[scratch * self.words + w] = 0;
+            }
+            self.r[scratch] = false;
+            for row in 0..n {
+                if self.get_x(row, q) {
+                    self.rowsum(scratch, row + n);
+                }
+            }
+            MeasurementOutcome {
+                value: self.r[scratch],
+                deterministic: true,
+            }
+        }
+    }
+
+    /// Re-prepare qubit `q` in |0⟩: measure it and flip if the result was |1⟩.
+    pub fn prepare_z(&mut self, q: usize, random_bit: bool) {
+        let outcome = self.measure_with(q, random_bit);
+        if outcome.value {
+            self.pauli_x(q);
+        }
+    }
+
+    /// True if measuring qubit `q` would give a deterministic outcome.
+    #[must_use]
+    pub fn is_deterministic(&self, q: usize) -> bool {
+        (self.n..2 * self.n).all(|row| !self.get_x(row, q))
+    }
+
+    /// The current stabilizer generators as Pauli strings.
+    #[must_use]
+    pub fn stabilizers(&self) -> Vec<PauliString> {
+        (self.n..2 * self.n).map(|row| self.row_string(row)).collect()
+    }
+
+    /// The current destabilizer generators as Pauli strings.
+    #[must_use]
+    pub fn destabilizers(&self) -> Vec<PauliString> {
+        (0..self.n).map(|row| self.row_string(row)).collect()
+    }
+
+    fn row_string(&self, row: usize) -> PauliString {
+        let mut s = PauliString::identity(self.n);
+        for q in 0..self.n {
+            s.set(q, Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)));
+        }
+        if self.r[row] {
+            s.negate();
+        }
+        s
+    }
+
+    /// True if the given Pauli string — *including its sign* — is in the
+    /// stabilizer group of the current state, i.e. the state is a +1
+    /// eigenstate of the operator.
+    ///
+    /// # Panics
+    /// Panics if the string length does not match the qubit count.
+    #[must_use]
+    pub fn stabilizes(&self, p: &PauliString) -> bool {
+        assert_eq!(p.len(), self.n, "Pauli string length mismatch");
+        // p must commute with every stabilizer to even be a candidate.
+        for row in self.n..2 * self.n {
+            if !self.row_string(row).commutes_with(p) {
+                return false;
+            }
+        }
+        // Express p in terms of stabilizers using the destabilizers: stabilizer
+        // row i is "detected" by destabilizer i (they anticommute pairwise).
+        // If p is in the group with the correct sign, multiplying the selected
+        // stabilizer rows into p reduces it to +I exactly.
+        let mut residual = p.clone();
+        for i in 0..self.n {
+            let destab = self.row_string(i);
+            if !destab.commutes_with(&residual) {
+                let stab = self.row_string(i + self.n);
+                residual.multiply_by(&stab);
+            }
+        }
+        residual.is_identity() && residual.phase_exponent() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_measures_zero() {
+        let mut t = Tableau::new(3);
+        for q in 0..3 {
+            let m = t.measure_with(q, true);
+            assert!(m.deterministic);
+            assert!(!m.value);
+        }
+    }
+
+    #[test]
+    fn x_flips_a_qubit() {
+        let mut t = Tableau::new(2);
+        t.apply(CliffordGate::X(1));
+        assert!(!t.measure_with(0, false).value);
+        let m = t.measure_with(1, false);
+        assert!(m.deterministic);
+        assert!(m.value);
+    }
+
+    #[test]
+    fn hadamard_makes_measurement_random_then_collapses() {
+        let mut t = Tableau::new(1);
+        t.apply(CliffordGate::H(0));
+        assert!(!t.is_deterministic(0));
+        let m1 = t.measure_with(0, true);
+        assert!(!m1.deterministic);
+        assert!(m1.value);
+        // Second measurement must repeat the first outcome.
+        let m2 = t.measure_with(0, false);
+        assert!(m2.deterministic);
+        assert_eq!(m2.value, m1.value);
+    }
+
+    #[test]
+    fn bell_pair_is_correlated_for_both_outcomes() {
+        for outcome in [false, true] {
+            let mut t = Tableau::new(2);
+            t.apply(CliffordGate::H(0));
+            t.apply(CliffordGate::Cnot(0, 1));
+            let a = t.measure_with(0, outcome);
+            let b = t.measure_with(1, true); // random bit ignored: deterministic now
+            assert!(!a.deterministic);
+            assert!(b.deterministic);
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn ghz_state_has_expected_stabilizers() {
+        let mut t = Tableau::new(3);
+        t.apply(CliffordGate::H(0));
+        t.apply(CliffordGate::Cnot(0, 1));
+        t.apply(CliffordGate::Cnot(1, 2));
+        assert!(t.stabilizes(&PauliString::from_str_repr("XXX")));
+        assert!(t.stabilizes(&PauliString::from_str_repr("ZZI")));
+        assert!(t.stabilizes(&PauliString::from_str_repr("IZZ")));
+        assert!(!t.stabilizes(&PauliString::from_str_repr("XII")));
+        assert!(!t.stabilizes(&PauliString::from_str_repr("ZII")));
+    }
+
+    #[test]
+    fn phase_gate_turns_x_into_y() {
+        // |+> stabilized by X; after S it is stabilized by Y.
+        let mut t = Tableau::new(1);
+        t.apply(CliffordGate::H(0));
+        assert!(t.stabilizes(&PauliString::from_str_repr("X")));
+        t.apply(CliffordGate::S(0));
+        assert!(t.stabilizes(&PauliString::from_str_repr("Y")));
+        t.apply(CliffordGate::Sdg(0));
+        assert!(t.stabilizes(&PauliString::from_str_repr("X")));
+    }
+
+    #[test]
+    fn cz_creates_the_same_entanglement_as_cnot_conjugated_by_h() {
+        let mut a = Tableau::new(2);
+        a.apply(CliffordGate::H(0));
+        a.apply(CliffordGate::H(1));
+        a.apply(CliffordGate::Cz(0, 1));
+        // CZ|++> is the graph state stabilized by XZ and ZX.
+        assert!(a.stabilizes(&PauliString::from_str_repr("XZ")));
+        assert!(a.stabilizes(&PauliString::from_str_repr("ZX")));
+    }
+
+    #[test]
+    fn swap_exchanges_states() {
+        let mut t = Tableau::new(2);
+        t.apply(CliffordGate::X(0));
+        t.apply(CliffordGate::Swap(0, 1));
+        assert!(!t.measure_with(0, false).value);
+        assert!(t.measure_with(1, false).value);
+    }
+
+    #[test]
+    fn prepare_z_resets_an_excited_qubit() {
+        let mut t = Tableau::new(1);
+        t.apply(CliffordGate::X(0));
+        t.prepare_z(0, false);
+        assert!(!t.measure_with(0, false).value);
+        // Also resets a superposed qubit regardless of the random outcome.
+        let mut t = Tableau::new(1);
+        t.apply(CliffordGate::H(0));
+        t.prepare_z(0, true);
+        assert!(!t.measure_with(0, false).value);
+    }
+
+    #[test]
+    fn teleportation_circuit_transfers_a_known_state() {
+        // Teleport |1> from qubit 0 to qubit 2 using a Bell pair on (1,2).
+        for (m1_random, m2_random) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut t = Tableau::new(3);
+            t.apply(CliffordGate::X(0)); // the state to teleport
+            t.apply(CliffordGate::H(1));
+            t.apply(CliffordGate::Cnot(1, 2));
+            t.apply(CliffordGate::Cnot(0, 1));
+            t.apply(CliffordGate::H(0));
+            let m1 = t.measure_with(0, m1_random).value;
+            let m2 = t.measure_with(1, m2_random).value;
+            if m2 {
+                t.apply(CliffordGate::X(2));
+            }
+            if m1 {
+                t.apply(CliffordGate::Z(2));
+            }
+            let out = t.measure_with(2, false);
+            assert!(out.deterministic);
+            assert!(out.value, "teleported state must be |1>");
+        }
+    }
+
+    #[test]
+    fn y_gate_is_consistent_with_x_then_z() {
+        let mut a = Tableau::new(1);
+        a.apply(CliffordGate::H(0));
+        a.apply(CliffordGate::S(0)); // state stabilized by Y
+        let mut b = a.clone();
+        a.apply(CliffordGate::Y(0));
+        // Y acting on a Y eigenstate leaves it unchanged.
+        assert_eq!(a.stabilizers(), b.stabilizers());
+        b.apply(CliffordGate::Z(0));
+        b.apply(CliffordGate::X(0));
+        // X·Z differs from Y only by a global phase, so stabilizers of ±Y
+        // eigenstates must match up to that phase; measure to compare.
+        assert!(a.stabilizes(&PauliString::from_str_repr("Y")));
+        assert!(b.stabilizes(&PauliString::from_str_repr("Y")));
+    }
+
+    #[test]
+    fn error_injection_via_pauli_string() {
+        let mut t = Tableau::new(3);
+        t.apply_pauli_string(&PauliString::from_str_repr("XIX"));
+        assert!(t.measure_with(0, false).value);
+        assert!(!t.measure_with(1, false).value);
+        assert!(t.measure_with(2, false).value);
+    }
+
+    #[test]
+    fn stabilizer_and_destabilizer_counts() {
+        let t = Tableau::new(5);
+        assert_eq!(t.stabilizers().len(), 5);
+        assert_eq!(t.destabilizers().len(), 5);
+        assert_eq!(t.num_qubits(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut t = Tableau::new(2);
+        t.apply(CliffordGate::H(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn cnot_same_qubit_panics() {
+        let mut t = Tableau::new(2);
+        t.apply(CliffordGate::Cnot(1, 1));
+    }
+
+    #[test]
+    fn large_tableau_spanning_multiple_words() {
+        // 130 qubits exercises the multi-word bit packing.
+        let n = 130;
+        let mut t = Tableau::new(n);
+        for q in [0, 63, 64, 129] {
+            t.apply(CliffordGate::X(q));
+        }
+        for q in [0, 63, 64, 129] {
+            assert!(t.measure_with(q, false).value, "qubit {q}");
+        }
+        assert!(!t.measure_with(100, false).value);
+        // A Bell pair across the word boundary stays correlated.
+        t.apply(CliffordGate::H(10));
+        t.apply(CliffordGate::Cnot(10, 120));
+        let a = t.measure_with(10, true).value;
+        let b = t.measure_with(120, false).value;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! The teleportation interconnect in action: verify teleportation on the
+//! stabilizer backend, then sweep island separations to reproduce the
+//! Figure 9 trade-off.
+//!
+//! ```text
+//! cargo run --example teleport_network
+//! ```
+
+use qla::network::{best_separation, plan_connection, InterconnectParams, FIGURE9_SEPARATIONS};
+use qla::stabilizer::{CliffordGate, StabilizerSimulator};
+
+/// Teleport qubit 0's state onto qubit 2 using a Bell pair on (1, 2),
+/// returning the measured value of the destination.
+fn teleport_once(prepare_one: bool, seed: u64) -> bool {
+    let mut sim = StabilizerSimulator::with_seed(3, seed);
+    if prepare_one {
+        sim.apply(CliffordGate::X(0));
+    }
+    sim.apply(CliffordGate::H(1));
+    sim.apply(CliffordGate::Cnot(1, 2));
+    sim.apply(CliffordGate::Cnot(0, 1));
+    sim.apply(CliffordGate::H(0));
+    let m1 = sim.measure(0);
+    let m2 = sim.measure(1);
+    if m2 {
+        sim.apply(CliffordGate::X(2));
+    }
+    if m1 {
+        sim.apply(CliffordGate::Z(2));
+    }
+    sim.measure(2)
+}
+
+fn main() {
+    println!("=== QLA teleportation interconnect ===\n");
+
+    // 1. Teleportation itself, verified on the stabilizer backend.
+    let mut correct = 0;
+    let trials = 200;
+    for seed in 0..trials {
+        let sent = seed % 2 == 0;
+        if teleport_once(sent, seed) == sent {
+            correct += 1;
+        }
+    }
+    println!("stabilizer-level teleportation check: {correct}/{trials} states arrived intact");
+
+    // 2. The Figure 9 sweep: connection time vs distance for each island
+    //    separation.
+    let params = InterconnectParams::paper_calibrated();
+    println!("\nconnection time (ms) by island separation d (cells):");
+    print!("{:>10}", "distance");
+    for d in FIGURE9_SEPARATIONS {
+        print!("{:>10}", format!("d={d}"));
+    }
+    println!();
+    for distance in (2_000..=30_000).step_by(4_000) {
+        print!("{:>10}", distance);
+        for d in FIGURE9_SEPARATIONS {
+            match plan_connection(&params, distance, d) {
+                Ok(plan) => print!("{:>10.1}", plan.total_time.as_millis()),
+                Err(_) => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+
+    // 3. The optimal separation as a function of distance (the scheduler's
+    //    island on/off choice).
+    println!("\noptimal island separation:");
+    for distance in [2_000usize, 5_000, 10_000, 20_000, 30_000] {
+        if let Some((d, plan)) = best_separation(&params, distance, &FIGURE9_SEPARATIONS) {
+            println!(
+                "  {:>6} cells -> d = {:>4} cells ({} purification rounds, {})",
+                distance, d, plan.segment_purification.rounds, plan.total_time
+            );
+        }
+    }
+}
