@@ -10,16 +10,20 @@ fn bench_channel_model(c: &mut Criterion) {
     let tech = TechnologyParams::expected();
     let mut group = c.benchmark_group("ballistic_channel");
     for cells in [100usize, 1000, 10_000] {
-        group.bench_with_input(BenchmarkId::new("latency_and_failure", cells), &cells, |b, &cells| {
-            b.iter(|| {
-                let chan = BallisticChannel::new(black_box(cells), &tech);
-                (
-                    chan.single_trip_latency(),
-                    chan.pipelined_latency(100),
-                    chan.traverse_failure(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("latency_and_failure", cells),
+            &cells,
+            |b, &cells| {
+                b.iter(|| {
+                    let chan = BallisticChannel::new(black_box(cells), &tech);
+                    (
+                        chan.single_trip_latency(),
+                        chan.pipelined_latency(100),
+                        chan.traverse_failure(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -32,5 +32,9 @@ fn bench_extraction_circuit_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_latency_model, bench_extraction_circuit_construction);
+criterion_group!(
+    benches,
+    bench_latency_model,
+    bench_extraction_circuit_construction
+);
 criterion_main!(benches);

@@ -9,14 +9,18 @@ fn bench_montecarlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure7_montecarlo");
     group.sample_size(10);
     for &p in &[1e-3f64, 2.5e-3] {
-        group.bench_with_input(BenchmarkId::new("level1_2000_trials", format!("p={p}")), &p, |b, &p| {
-            let experiment = ThresholdExperiment {
-                trials: 2000,
-                seed: 99,
-                movement_error: 1.2e-5,
-            };
-            b.iter(|| black_box(experiment.level1_failure_rate(black_box(p))));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("level1_2000_trials", format!("p={p}")),
+            &p,
+            |b, &p| {
+                let experiment = ThresholdExperiment {
+                    trials: 2000,
+                    seed: 99,
+                    movement_error: 1.2e-5,
+                };
+                b.iter(|| black_box(experiment.level1_failure_rate(black_box(p))));
+            },
+        );
     }
     group.finish();
 }

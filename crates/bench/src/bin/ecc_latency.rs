@@ -13,7 +13,10 @@ fn main() {
     let model = EccLatencyModel::expected();
     let (r1, r2) = EccLatencyModel::paper_nontrivial_rates();
 
-    println!("{:>8} {:>16} {:>16} {:>16} {:>16}", "level", "ancilla prep", "syndrome", "ECC (trivial)", "ECC (expected)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16} {:>16}",
+        "level", "ancilla prep", "syndrome", "ECC (trivial)", "ECC (expected)"
+    );
     for level in 1..=3u32 {
         let rate = if level == 1 { r1 } else { r2 };
         println!(

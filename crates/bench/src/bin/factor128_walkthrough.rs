@@ -10,7 +10,10 @@ fn main() {
     let r = ShorEstimator::default().estimate(128);
     println!("logical qubits            : {}", r.logical_qubits);
     println!("Toffoli gates             : {}", r.toffoli_gates);
-    println!("EC steps (21/Toffoli +QFT): {:.3e}   [paper: 1.34e6]", r.ecc_steps as f64);
+    println!(
+        "EC steps (21/Toffoli +QFT): {:.3e}   [paper: 1.34e6]",
+        r.ecc_steps as f64
+    );
     println!(
         "single-run time           : {:.1} h      [paper: ~16 h]",
         r.single_run_time.as_hours()
@@ -19,7 +22,10 @@ fn main() {
         "expected time (x1.3)      : {:.1} h      [paper: ~21 h]",
         r.expected_time.as_hours()
     );
-    println!("chip area                 : {:.2} m^2   [paper: 0.11 m^2]", r.area_m2);
+    println!(
+        "chip area                 : {:.2} m^2   [paper: 0.11 m^2]",
+        r.area_m2
+    );
 
     let machine = QlaMachine::with_logical_qubits(r.logical_qubits as usize);
     println!(

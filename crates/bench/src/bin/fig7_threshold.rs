@@ -23,8 +23,7 @@ fn main() {
     // The paper sweeps roughly 1e-3 .. 2.5e-3; we extend the range so both
     // the helping and hurting regimes are visible.
     let rates = [
-        5e-4, 7.5e-4, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3, 2.0e-3, 2.25e-3, 2.5e-3, 4e-3, 8e-3,
-        1.6e-2,
+        5e-4, 7.5e-4, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3, 2.0e-3, 2.25e-3, 2.5e-3, 4e-3, 8e-3, 1.6e-2,
     ];
     println!(
         "{:>14} {:>16} {:>16} {:>12}",

@@ -10,7 +10,10 @@ fn main() {
     let theory = ThresholdAnalysis::paper_design_point();
     let empirical = ThresholdAnalysis::empirical_design_point();
 
-    println!("p0 = {:.3e}, r = {}, pth(theory) = {:.2e}, pth(ARQ) = {:.2e}\n", theory.p0, theory.r, theory.pth, empirical.pth);
+    println!(
+        "p0 = {:.3e}, r = {}, pth(theory) = {:.2e}, pth(ARQ) = {:.2e}\n",
+        theory.p0, theory.r, theory.pth, empirical.pth
+    );
     println!(
         "{:>6} {:>14} {:>16} {:>16} {:>16} {:>14}",
         "level", "data qubits", "ion sites", "Pf (theory pth)", "Pf (ARQ pth)", "max S = K*Q"

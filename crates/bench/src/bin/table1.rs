@@ -13,9 +13,24 @@ fn main() {
         "Operation", "Time", "P_current", "P_expected"
     );
     let rows = [
-        ("Single gate", format!("{}", times.single_gate), current.single_gate, expected.single_gate),
-        ("Double gate", format!("{}", times.double_gate), current.double_gate, expected.double_gate),
-        ("Measure", format!("{}", times.measure), current.measure, expected.measure),
+        (
+            "Single gate",
+            format!("{}", times.single_gate),
+            current.single_gate,
+            expected.single_gate,
+        ),
+        (
+            "Double gate",
+            format!("{}", times.double_gate),
+            current.double_gate,
+            expected.double_gate,
+        ),
+        (
+            "Measure",
+            format!("{}", times.measure),
+            current.measure,
+            expected.measure,
+        ),
         (
             "Movement",
             format!("{}/um", times.move_per_um),

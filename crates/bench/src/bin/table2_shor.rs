@@ -46,5 +46,7 @@ fn main() {
             p_days
         );
     }
-    println!("\n(run times use the paper's level-2 EC step of 0.043 s and 1.3 average repetitions)");
+    println!(
+        "\n(run times use the paper's level-2 EC step of 0.043 s and 1.3 average repetitions)"
+    );
 }

@@ -222,7 +222,10 @@ mod tests {
             Gate::Cnot(0, 1).physical_op(),
             PhysicalOp::TwoQubitGate(_)
         ));
-        assert!(matches!(Gate::MeasureZ(0).physical_op(), PhysicalOp::Measure));
+        assert!(matches!(
+            Gate::MeasureZ(0).physical_op(),
+            PhysicalOp::Measure
+        ));
         assert!(matches!(
             Gate::H(0).physical_op(),
             PhysicalOp::SingleQubitGate(_)

@@ -167,6 +167,10 @@ mod tests {
         let outcomes: std::collections::HashSet<bool> = (0..32)
             .map(|seed| Arq::new(seed).run(&c).unwrap().measurements[0])
             .collect();
-        assert_eq!(outcomes.len(), 2, "both outcomes should appear across seeds");
+        assert_eq!(
+            outcomes.len(),
+            2,
+            "both outcomes should appear across seeds"
+        );
     }
 }

@@ -151,8 +151,7 @@ impl QlaMachine {
         // One level-2 EC window divided by the per-pair service time
         // (~0.6 ms: purification round + transport) bounds the pairs one
         // pipelined channel delivers per window.
-        let pairs_per_window =
-            (self.ecc_window().as_micros() / 600.0).floor().max(1.0) as usize;
+        let pairs_per_window = (self.ecc_window().as_micros() / 600.0).floor().max(1.0) as usize;
         let mesh = Mesh::from_floorplan(&self.floorplan, self.config.bandwidth)
             .with_pairs_per_window(pairs_per_window);
         schedule_toffoli_traffic(&mesh, sites, 1)
@@ -168,10 +167,7 @@ mod tests {
         let m = QlaMachine::with_logical_qubits(100);
         assert!(m.logical_qubits() >= 100);
         assert!(m.chip_area_m2() > 1e-4);
-        assert_eq!(
-            m.physical_ion_sites(),
-            m.logical_qubits() as u64 * 63 * 21
-        );
+        assert_eq!(m.physical_ion_sites(), m.logical_qubits() as u64 * 63 * 21);
     }
 
     #[test]
@@ -206,7 +202,9 @@ mod tests {
     #[test]
     fn colocated_connection_needs_no_plan() {
         let m = QlaMachine::with_logical_qubits(16);
-        assert!(m.plan_connection(LogicalQubitId(3), LogicalQubitId(3)).is_none());
+        assert!(m
+            .plan_connection(LogicalQubitId(3), LogicalQubitId(3))
+            .is_none());
     }
 
     #[test]
@@ -219,6 +217,10 @@ mod tests {
         };
         let report = m.schedule_toffolis(&[site]);
         assert_eq!(report.bandwidth, 2);
-        assert!(report.overlaps_with_ecc, "report: {:?}", report.result.windows_used);
+        assert!(
+            report.overlaps_with_ecc,
+            "report: {:?}",
+            report.result.windows_used
+        );
     }
 }

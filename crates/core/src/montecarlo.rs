@@ -253,7 +253,9 @@ fn logical_trial<R: Rng + ?Sized>(
     }
     let mut syndrome = Vec::with_capacity(3);
     for support in &code.z_stabilizers {
-        let mut bit = support.iter().fold(false, |acc, &q| acc ^ frame.has_x(7 + q));
+        let mut bit = support
+            .iter()
+            .fold(false, |acc, &q| acc ^ frame.has_x(7 + q));
         if p > 0.0 && rng.random::<f64>() < p {
             bit = !bit; // measurement error
         }
@@ -272,7 +274,9 @@ fn logical_trial<R: Rng + ?Sized>(
     }
     let mut syndrome = Vec::with_capacity(3);
     for support in &code.x_stabilizers {
-        let mut bit = support.iter().fold(false, |acc, &q| acc ^ frame.has_z(7 + q));
+        let mut bit = support
+            .iter()
+            .fold(false, |acc, &q| acc ^ frame.has_z(7 + q));
         if p > 0.0 && rng.random::<f64>() < p {
             bit = !bit;
         }
@@ -312,7 +316,10 @@ mod tests {
         let e = quick();
         let p = 1e-4;
         let l1 = e.level1_failure_rate(p);
-        assert!(l1 < p, "level-1 rate {l1} should beat the physical rate {p}");
+        assert!(
+            l1 < p,
+            "level-1 rate {l1} should beat the physical rate {p}"
+        );
     }
 
     #[test]

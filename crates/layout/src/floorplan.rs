@@ -113,7 +113,8 @@ impl Floorplan {
     /// Manhattan distance between two logical qubits, in cells.
     #[must_use]
     pub fn distance_cells(&self, a: LogicalQubitId, b: LogicalQubitId) -> usize {
-        self.cell_position(a).manhattan_distance(&self.cell_position(b))
+        self.cell_position(a)
+            .manhattan_distance(&self.cell_position(b))
     }
 
     /// Number of teleportation islands along a channel of `distance_cells`
@@ -143,10 +144,7 @@ impl Floorplan {
         if self.qubit_count() == 0 {
             return 0;
         }
-        self.distance_cells(
-            LogicalQubitId(0),
-            LogicalQubitId(self.qubit_count() - 1),
-        )
+        self.distance_cells(LogicalQubitId(0), LogicalQubitId(self.qubit_count() - 1))
     }
 }
 

@@ -94,7 +94,8 @@ mod tests {
         let straight = BallisticRoute::between_positions(Position::new(0, 5), Position::new(40, 5));
         assert_eq!(straight.corner_turns, 1);
         assert_eq!(straight.length_cells(), 40);
-        let l_shaped = BallisticRoute::between_positions(Position::new(0, 0), Position::new(30, 40));
+        let l_shaped =
+            BallisticRoute::between_positions(Position::new(0, 0), Position::new(30, 40));
         assert_eq!(l_shaped.corner_turns, 2);
         assert_eq!(l_shaped.length_cells(), 70);
     }
@@ -103,8 +104,7 @@ mod tests {
     fn no_route_needs_more_than_two_turns() {
         let plan = Floorplan::new(12, 12);
         for a in 0..plan.qubit_count() {
-            let route =
-                BallisticRoute::between_qubits(&plan, LogicalQubitId(0), LogicalQubitId(a));
+            let route = BallisticRoute::between_qubits(&plan, LogicalQubitId(0), LogicalQubitId(a));
             assert!(route.corner_turns <= 2);
         }
     }

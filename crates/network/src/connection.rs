@@ -68,7 +68,9 @@ impl InterconnectParams {
                 creation_fidelity: 0.995,
                 per_cell_error: 9.0e-4,
             },
-            purification: PurificationParams { local_op_error: 2.0e-5 },
+            purification: PurificationParams {
+                local_op_error: 2.0e-5,
+            },
             swap_op_error: 1.5e-4,
             max_final_infidelity: 2.5e-2,
             purification_round_time: Time::from_millis(3.0),
@@ -122,10 +124,16 @@ impl core::fmt::Display for ConnectionError {
                 write!(f, "delivered EPR pairs have fidelity below 0.5")
             }
             ConnectionError::TooManySwapStages => {
-                write!(f, "swap-operation errors alone exceed the end-to-end budget")
+                write!(
+                    f,
+                    "swap-operation errors alone exceed the end-to-end budget"
+                )
             }
             ConnectionError::PurificationCeiling => {
-                write!(f, "required segment fidelity exceeds the purification ceiling")
+                write!(
+                    f,
+                    "required segment fidelity exceeds the purification ceiling"
+                )
             }
         }
     }
@@ -208,7 +216,11 @@ pub fn best_separation(
 ) -> Option<(usize, ConnectionPlan)> {
     candidates
         .iter()
-        .filter_map(|&d| plan_connection(params, distance_cells, d).ok().map(|p| (d, p)))
+        .filter_map(|&d| {
+            plan_connection(params, distance_cells, d)
+                .ok()
+                .map(|p| (d, p))
+        })
         .min_by(|a, b| {
             a.1.total_time
                 .as_secs()
@@ -253,12 +265,13 @@ mod tests {
         // preferable."
         let p = params();
         let d350 = plan_connection(&p, 12_000, 350).unwrap();
-        match plan_connection(&p, 12_000, 100) {
-            Ok(plan) => assert!(
+        // d=100 may be infeasible at this distance, in which case 350
+        // trivially wins.
+        if let Ok(plan) = plan_connection(&p, 12_000, 100) {
+            assert!(
                 d350.total_time < plan.total_time,
                 "d=350 should beat d=100 at 12000 cells"
-            ),
-            Err(_) => {} // d=100 infeasible at this distance: 350 trivially wins
+            );
         }
         // Far enough out, d=100 cannot meet the fidelity budget at all while
         // d=350 still can.

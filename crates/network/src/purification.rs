@@ -34,7 +34,9 @@ impl PurificationParams {
     /// Ideal local operations.
     #[must_use]
     pub fn ideal() -> Self {
-        PurificationParams { local_op_error: 0.0 }
+        PurificationParams {
+            local_op_error: 0.0,
+        }
     }
 
     /// One round of the Bennett protocol on two pairs of equal fidelity,
@@ -141,16 +143,22 @@ mod tests {
 
     #[test]
     fn noisy_operations_lower_the_ceiling() {
-        let noisy = PurificationParams { local_op_error: 1e-2 };
+        let noisy = PurificationParams {
+            local_op_error: 1e-2,
+        };
         let c = noisy.fidelity_ceiling();
         assert!(c < 0.999 && c > 0.9, "ceiling {c}");
-        let noisier = PurificationParams { local_op_error: 5e-2 };
+        let noisier = PurificationParams {
+            local_op_error: 5e-2,
+        };
         assert!(noisier.fidelity_ceiling() < c);
     }
 
     #[test]
     fn rounds_to_reach_counts_rounds_and_pairs() {
-        let params = PurificationParams { local_op_error: 1e-4 };
+        let params = PurificationParams {
+            local_op_error: 1e-4,
+        };
         let plan = params
             .rounds_to_reach(EprPair::with_fidelity(0.9), 0.995)
             .expect("target reachable");
@@ -171,7 +179,9 @@ mod tests {
 
     #[test]
     fn unreachable_targets_are_reported() {
-        let params = PurificationParams { local_op_error: 1e-2 };
+        let params = PurificationParams {
+            local_op_error: 1e-2,
+        };
         // Ceiling is below 0.9999, so this target is unreachable.
         assert!(params
             .rounds_to_reach(EprPair::with_fidelity(0.9), 0.9999)
@@ -184,7 +194,9 @@ mod tests {
 
     #[test]
     fn more_ambitious_targets_need_more_rounds() {
-        let params = PurificationParams { local_op_error: 1e-4 };
+        let params = PurificationParams {
+            local_op_error: 1e-4,
+        };
         let modest = params
             .rounds_to_reach(EprPair::with_fidelity(0.85), 0.95)
             .unwrap();

@@ -176,10 +176,7 @@ impl CellGrid {
     /// Remove an ion from the grid (e.g. after it is consumed by measurement
     /// in a teleportation protocol), returning its last position.
     pub fn remove(&mut self, id: IonId) -> Result<Position> {
-        let (_, p) = self
-            .ions
-            .remove(&id)
-            .ok_or(PhysicalError::UnknownIon(id))?;
+        let (_, p) = self.ions.remove(&id).ok_or(PhysicalError::UnknownIon(id))?;
         let idx = self.index(p)?;
         self.occupancy[idx] = None;
         Ok(p)
@@ -188,9 +185,7 @@ impl CellGrid {
     /// Move an ion to a new (empty, non-electrode) cell and return the
     /// Manhattan distance travelled in cells.
     pub fn shuttle(&mut self, id: IonId, to: Position) -> Result<usize> {
-        let from = self
-            .position_of(id)
-            .ok_or(PhysicalError::UnknownIon(id))?;
+        let from = self.position_of(id).ok_or(PhysicalError::UnknownIon(id))?;
         let to_idx = self.index(to)?;
         if self.kinds[to_idx] == CellKind::Electrode {
             return Err(PhysicalError::BlockedCell(to));
@@ -250,7 +245,8 @@ mod tests {
     #[test]
     fn double_occupancy_is_rejected() {
         let mut grid = CellGrid::new(4, 4);
-        grid.place(Ion::data(IonId(1)), Position::new(1, 1)).unwrap();
+        grid.place(Ion::data(IonId(1)), Position::new(1, 1))
+            .unwrap();
         let err = grid
             .place(Ion::data(IonId(2)), Position::new(1, 1))
             .unwrap_err();
@@ -260,15 +256,19 @@ mod tests {
     #[test]
     fn electrodes_block_ions() {
         let mut grid = CellGrid::new(4, 4);
-        grid.set_kind(Position::new(0, 0), CellKind::Electrode).unwrap();
-        let err = grid.place(Ion::data(IonId(1)), Position::new(0, 0)).unwrap_err();
+        grid.set_kind(Position::new(0, 0), CellKind::Electrode)
+            .unwrap();
+        let err = grid
+            .place(Ion::data(IonId(1)), Position::new(0, 0))
+            .unwrap_err();
         assert!(matches!(err, PhysicalError::BlockedCell(_)));
     }
 
     #[test]
     fn cannot_turn_occupied_cell_into_electrode() {
         let mut grid = CellGrid::new(4, 4);
-        grid.place(Ion::data(IonId(1)), Position::new(2, 2)).unwrap();
+        grid.place(Ion::data(IonId(1)), Position::new(2, 2))
+            .unwrap();
         let err = grid
             .set_kind(Position::new(2, 2), CellKind::Electrode)
             .unwrap_err();
@@ -287,7 +287,8 @@ mod tests {
     #[test]
     fn shuttle_moves_ion_and_reports_distance() {
         let mut grid = CellGrid::new(10, 10);
-        grid.place(Ion::data(IonId(7)), Position::new(0, 0)).unwrap();
+        grid.place(Ion::data(IonId(7)), Position::new(0, 0))
+            .unwrap();
         let dist = grid.shuttle(IonId(7), Position::new(3, 4)).unwrap();
         assert_eq!(dist, 7);
         assert_eq!(grid.position_of(IonId(7)), Some(Position::new(3, 4)));
@@ -297,8 +298,10 @@ mod tests {
     #[test]
     fn shuttle_to_occupied_cell_fails() {
         let mut grid = CellGrid::new(10, 10);
-        grid.place(Ion::data(IonId(1)), Position::new(0, 0)).unwrap();
-        grid.place(Ion::data(IonId(2)), Position::new(5, 5)).unwrap();
+        grid.place(Ion::data(IonId(1)), Position::new(0, 0))
+            .unwrap();
+        grid.place(Ion::data(IonId(2)), Position::new(5, 5))
+            .unwrap();
         assert!(grid.shuttle(IonId(1), Position::new(5, 5)).is_err());
     }
 
@@ -317,7 +320,8 @@ mod tests {
         let mut grid = CellGrid::new(3, 3);
         assert_eq!(grid.count_kind(CellKind::Channel), 9);
         grid.set_kind(Position::new(1, 1), CellKind::Trap).unwrap();
-        grid.set_kind(Position::new(0, 1), CellKind::Electrode).unwrap();
+        grid.set_kind(Position::new(0, 1), CellKind::Electrode)
+            .unwrap();
         assert_eq!(grid.count_kind(CellKind::Channel), 7);
         assert_eq!(grid.count_kind(CellKind::Trap), 1);
         assert_eq!(grid.count_kind(CellKind::Electrode), 1);

@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn display_is_human_readable() {
         assert_eq!(format!("{}", PhysicalOp::Measure), "measure");
-        assert_eq!(format!("{}", PhysicalOp::Move { cells: 3 }), "move(3 cells)");
+        assert_eq!(
+            format!("{}", PhysicalOp::Move { cells: 3 }),
+            "move(3 cells)"
+        );
         assert_eq!(
             format!("{}", PhysicalOp::SingleQubitGate(SingleQubitKind::H)),
             "1q:H"

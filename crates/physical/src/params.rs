@@ -300,7 +300,10 @@ mod tests {
         assert_eq!(tech.op_time(&PhysicalOp::single_qubit()).as_micros(), 1.0);
         assert_eq!(tech.op_time(&PhysicalOp::two_qubit()).as_micros(), 10.0);
         assert_eq!(tech.op_time(&PhysicalOp::Measure).as_micros(), 100.0);
-        assert_eq!(tech.op_time(&PhysicalOp::Move { cells: 100 }).as_micros(), 1.0);
+        assert_eq!(
+            tech.op_time(&PhysicalOp::Move { cells: 100 }).as_micros(),
+            1.0
+        );
         assert_eq!(tech.op_time(&PhysicalOp::Split).as_micros(), 10.0);
     }
 

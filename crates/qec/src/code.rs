@@ -162,14 +162,26 @@ impl CssCode {
             .collect();
         for (i, a) in all_stabs.iter().enumerate() {
             for b in &all_stabs[i + 1..] {
-                assert!(a.commutes_with(b), "{}: stabilizers {a} and {b} anticommute", self.name);
+                assert!(
+                    a.commutes_with(b),
+                    "{}: stabilizers {a} and {b} anticommute",
+                    self.name
+                );
             }
         }
         let lx = self.logical_x_string();
         let lz = self.logical_z_string();
         for s in &all_stabs {
-            assert!(lx.commutes_with(s), "{}: logical X anticommutes with {s}", self.name);
-            assert!(lz.commutes_with(s), "{}: logical Z anticommutes with {s}", self.name);
+            assert!(
+                lx.commutes_with(s),
+                "{}: logical X anticommutes with {s}",
+                self.name
+            );
+            assert!(
+                lz.commutes_with(s),
+                "{}: logical Z anticommutes with {s}",
+                self.name
+            );
         }
         assert!(
             !lx.commutes_with(&lz),
@@ -187,11 +199,7 @@ fn support_to_string(n: usize, support: &[usize], pauli: Pauli) -> PauliString {
     s
 }
 
-fn decode_lookup(
-    stabilizers: &[Vec<usize>],
-    n: usize,
-    syndrome: &[bool],
-) -> Option<usize> {
+fn decode_lookup(stabilizers: &[Vec<usize>], n: usize, syndrome: &[bool]) -> Option<usize> {
     if syndrome.iter().all(|&b| !b) {
         return None;
     }

@@ -92,11 +92,7 @@ pub fn syndrome_from_measurements(
 /// Decode a syndrome into the correction gate to apply to the data block (if
 /// any).
 #[must_use]
-pub fn correction_for(
-    code: &CssCode,
-    error_type: ErrorType,
-    syndrome: &[bool],
-) -> Option<Gate> {
+pub fn correction_for(code: &CssCode, error_type: ErrorType, syndrome: &[bool]) -> Option<Gate> {
     match error_type {
         ErrorType::X => code.decode_single_x_error(syndrome).map(Gate::X),
         ErrorType::Z => code.decode_single_z_error(syndrome).map(Gate::Z),
@@ -214,7 +210,7 @@ mod tests {
         let x = extraction_op_counts(ErrorType::X);
         assert_eq!(x.measurements, 7);
         assert_eq!(x.two_qubit, 9 + 7); // encoder CNOTs + transversal CNOT
-        // |+>_L preparation: 3 pivot Hadamards plus the transversal Hadamard.
+                                        // |+>_L preparation: 3 pivot Hadamards plus the transversal Hadamard.
         assert_eq!(x.single_qubit_clifford, 10);
         let z = extraction_op_counts(ErrorType::Z);
         assert_eq!(z.measurements, 7);
@@ -244,7 +240,10 @@ mod tests {
             for q in 0..7 {
                 logical_z.set(q, qla_stabilizer::Pauli::Z);
             }
-            assert!(sim.stabilizes(&logical_z), "{et:?} extraction collapsed the data");
+            assert!(
+                sim.stabilizes(&logical_z),
+                "{et:?} extraction collapsed the data"
+            );
             for s in code.z_stabilizer_strings() {
                 let mut embedded = qla_stabilizer::PauliString::identity(14);
                 for q in 0..7 {

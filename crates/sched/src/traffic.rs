@@ -79,11 +79,7 @@ pub fn random_toffoli_sites<R: Rng + ?Sized>(
         .map(|_| {
             let base = rng.random_range(0..nodes);
             ToffoliSite {
-                operands: [
-                    base,
-                    rng.random_range(0..nodes),
-                    rng.random_range(0..nodes),
-                ],
+                operands: [base, rng.random_range(0..nodes), rng.random_range(0..nodes)],
                 ancilla_base: rng.random_range(0..nodes),
             }
         })

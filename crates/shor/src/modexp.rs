@@ -144,7 +144,10 @@ mod tests {
         let a = modexp_costs(256).toffoli_gates as f64;
         let b = modexp_costs(1024).toffoli_gates as f64;
         let exponent = (b / a).log2() / 2.0; // 1024 = 4× 256
-        assert!(exponent > 1.0 && exponent < 2.0, "scaling exponent {exponent}");
+        assert!(
+            exponent > 1.0 && exponent < 2.0,
+            "scaling exponent {exponent}"
+        );
     }
 
     #[test]

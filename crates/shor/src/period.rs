@@ -74,7 +74,7 @@ pub fn order(a: u64, n: u64) -> Option<u64> {
 /// post-processing of Shor's algorithm would.
 #[must_use]
 pub fn factor_with_base(n: u64, a: u64) -> Option<Factorisation> {
-    if n < 4 || n % 2 == 0 {
+    if n < 4 || n.is_multiple_of(2) {
         return None;
     }
     let g = gcd(a, n);

@@ -143,9 +143,15 @@ mod tests {
         let r = ShorEstimator::default().estimate(128);
         assert!((r.ecc_steps as f64 - 1.34e6).abs() / 1.34e6 < 0.02);
         let single_hours = r.single_run_time.as_hours();
-        assert!((14.5..17.5).contains(&single_hours), "single run {single_hours} h");
+        assert!(
+            (14.5..17.5).contains(&single_hours),
+            "single run {single_hours} h"
+        );
         let expected_hours = r.expected_time.as_hours();
-        assert!((19.0..23.0).contains(&expected_hours), "expected {expected_hours} h");
+        assert!(
+            (19.0..23.0).contains(&expected_hours),
+            "expected {expected_hours} h"
+        );
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl PauliString {
                 anticommutations += 1;
             }
         }
-        anticommutations % 2 == 0
+        anticommutations.is_multiple_of(2)
     }
 
     /// Multiply by another string in place (`self ← self · other`), tracking

@@ -403,7 +403,9 @@ impl Tableau {
     /// The current stabilizer generators as Pauli strings.
     #[must_use]
     pub fn stabilizers(&self) -> Vec<PauliString> {
-        (self.n..2 * self.n).map(|row| self.row_string(row)).collect()
+        (self.n..2 * self.n)
+            .map(|row| self.row_string(row))
+            .collect()
     }
 
     /// The current destabilizer generators as Pauli strings.

@@ -18,7 +18,7 @@ fn a_machine_sized_for_shor_128_hangs_together() {
     // area, and not wildly larger.
     assert!(machine.logical_qubits() >= resources.logical_qubits as usize);
     let area_ratio = machine.chip_area_m2() / resources.area_m2;
-    assert!(area_ratio >= 1.0 && area_ratio < 1.3, "area ratio {area_ratio}");
+    assert!((1.0..1.3).contains(&area_ratio), "area ratio {area_ratio}");
 
     // Reliability: the design point supports the whole computation.
     let steps_needed = resources.total_gates as f64 * 25.0; // gates x EC steps, generous

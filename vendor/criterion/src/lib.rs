@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the Criterion API the QLA benches use —
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a simple wall-clock harness: each benchmark is warmed up,
+//! then timed in batches until a fixed measurement budget is spent, and
+//! the mean ns/iteration is printed. No statistics, plots, or baseline
+//! comparison; swap back to registry `criterion = "0.5"` for those.
+//!
+//! The harness accepts and ignores the CLI flags Cargo passes to bench
+//! binaries (`--bench`, filters), so `cargo bench` and
+//! `cargo bench --no-run` behave as expected.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computation whose result is unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+    /// Total iterations executed by the last `iter` call.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run for ~20 ms or at least once.
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measurement: size one batch to ~60 ms, run it, report the mean.
+        let target = Duration::from_millis(60);
+        let batch = ((target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iterations = batch;
+        self.mean_ns = elapsed.as_nanos() as f64 / batch as f64;
+    }
+}
+
+/// Identifier for one case of a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "bench: {label:<50} {:>14.1} ns/iter  ({} iters)",
+        bencher.mean_ns, bencher.iterations
+    );
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub harness sizes batches
+    /// by wall-clock budget instead of sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark a no-input routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut routine);
+        self
+    }
+
+    /// End the group (no-op in the stub; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Parse (and ignore) the harness CLI arguments Cargo passes.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, &mut routine);
+        self
+    }
+
+    /// Open a named group of benchmark cases.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

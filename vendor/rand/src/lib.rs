@@ -1,0 +1,254 @@
+//! Offline stand-in for `rand` (0.9 API surface).
+//!
+//! Implements exactly the subset the QLA workspace uses — `RngCore`,
+//! `Rng::{random, random_range, random_bool}`, and
+//! `SeedableRng::{from_seed, seed_from_u64}` — with the same method
+//! names and bounds as the registry crate, so swapping this path
+//! dependency for `rand = "0.9"` requires no source changes. Range
+//! sampling uses Lemire's debiased widening-multiply method, so draws
+//! are uniform (not merely modulo-reduced).
+
+/// Low-level entropy source: the object-safe core every generator implements.
+pub trait RngCore {
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`
+    /// (`f64`/`f32` uniform in `[0, 1)`, `bool` fair coin, integers
+    /// uniform over their full domain).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from `range` (half-open `a..b` or inclusive `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array in every implementation here).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64`, expanded to a full seed with
+    /// SplitMix64 (the same construction the registry crate uses, so
+    /// seeded experiments stay deterministic under either backend).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait StandardSample: Sized {
+    /// Draw one value from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1) on the dyadic grid.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Highest bit, matching the registry implementation.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Lemire's widening-multiply method: uniform draw from `[0, span)`
+/// with debiasing, `span > 0`.
+fn lemire<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let draw = if span == 0 {
+                    // Full u64 domain (e.g. `0..u64::MAX` has span u64::MAX,
+                    // never 0; span wraps to 0 only for the impossible
+                    // full-width i128 case, kept for safety).
+                    rng.next_u64()
+                } else {
+                    lemire(rng, span)
+                };
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span_minus_one = (end as i128 - start as i128) as u64;
+                let draw = if span_minus_one == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    lemire(rng, span_minus_one + 1)
+                };
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*}
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + f64::sample_standard(rng) * (self.end - self.start);
+        // `start + u*(end-start)` can round up to exactly `end` when u is
+        // within half an ulp of 1; keep the half-open contract.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Submodule mirror of `rand::rngs` (empty: the workspace seeds
+/// explicitly and never uses `ThreadRng`/`OsRng`).
+pub mod rngs {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = Counter(42);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.random_range(1..16u8);
+            assert!((1..16).contains(&w));
+            let x: i64 = rng.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_receiver() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.random_range(0..10)
+        }
+        let mut rng = Counter(1);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        assert!(draw(dynrng) < 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Unlike the other vendored stubs this is not a fake: it is a genuine
+//! ChaCha8 keystream generator (Bernstein's ChaCha with 8 rounds, the
+//! same core the registry crate wraps), exposed through the vendored
+//! `rand` traits. Seeded streams are high-quality and deterministic,
+//! which is all the QLA Monte-Carlo experiments require. Note the
+//! stream is *not* bit-identical to the registry `rand_chacha` (which
+//! seeds via its own block layout), so hard-coded expectations on
+//! specific draws would not survive a swap back — the workspace
+//! deliberately asserts statistical properties instead.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A ChaCha8 random number generator, seeded with a 256-bit key.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// ChaCha state: 4 constant words, 8 key words, 2 counter words,
+    /// 2 nonce words.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" constants, per the ChaCha specification.
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha_rfc7539_block_function() {
+        // RFC 7539 §2.3.2 test vector uses 20 rounds; with 8 rounds we
+        // can still verify the block function plumbing by checking the
+        // generator is deterministic and the first block differs from
+        // the raw state (i.e. rounds actually ran).
+        let mut a = ChaCha8Rng::seed_from_u64(12345);
+        let mut b = ChaCha8Rng::seed_from_u64(12345);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ChaCha8Rng::seed_from_u64(12346);
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn keystream_is_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64 000 bits, expect ~32 000 set; 6 sigma ≈ 760.
+        assert!((31_000..33_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn drives_rand_trait_methods() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mean: f64 = (0..10_000).map(|_| rng.random::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean = {mean}");
+        let draw = rng.random_range(0..10usize);
+        assert!(draw < 10);
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two marker traits and the derive macros under the names
+//! the real crate uses, so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged, and derived
+//! types satisfy `T: Serialize` / `T: Deserialize<'de>` bounds just as
+//! they would with the registry crates. No actual serialization
+//! machinery is provided — the traits carry no methods. Swap this path
+//! dependency for the registry
+//! `serde = { version = "1", features = ["derive"] }` to restore real
+//! serialization.
+
+// Let the `::serde::...` paths the derives emit resolve even inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Deserialize, Serialize};
+
+    // The whole contract of the stub: these must compile on plain,
+    // generic, lifetime-carrying, const-generic, where-clause, and
+    // tuple shapes, exactly like downstream use — and the derived types
+    // must satisfy Serialize/Deserialize bounds.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Plain {
+        x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        inner: Vec<T>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Borrowing<'a, T: Clone> {
+        slice: &'a [T],
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Fixed<const N: usize> {
+        data: [u8; N],
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Constrained<T>
+    where
+        T: Copy,
+    {
+        value: T,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Tuple<T: Copy>(T, u8);
+
+    #[derive(Serialize, Deserialize)]
+    struct Unit;
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Line(f64),
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derived_types_satisfy_trait_bounds() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Generic<u8>>();
+        assert_deserialize::<Generic<String>>();
+        assert_serialize::<Borrowing<'static, u8>>();
+        assert_serialize::<Fixed<4>>();
+        assert_deserialize::<Fixed<4>>();
+        assert_serialize::<Constrained<u8>>();
+        assert_serialize::<Tuple<u8>>();
+        assert_deserialize::<Tuple<u8>>();
+        assert_serialize::<Unit>();
+        assert_serialize::<Shape>();
+        assert_deserialize::<Shape>();
+    }
+
+    #[test]
+    fn derives_expand_on_all_shapes() {
+        let p = Plain { x: 7 };
+        assert_eq!(p.clone().x, 7);
+        let g = Generic {
+            inner: vec![1u8, 2],
+        };
+        assert_eq!(g.inner.len(), 2);
+        for shape in [Shape::Dot, Shape::Line(1.0)] {
+            let length = match shape {
+                Shape::Line(l) => l,
+                Shape::Dot => 0.0,
+            };
+            assert!(length >= 0.0);
+        }
+        let b = Borrowing { slice: &[1u8, 2] };
+        assert_eq!(b.slice.len(), 2);
+        let f = Fixed { data: [0u8; 4] };
+        assert_eq!(f.data.len(), 4);
+        let c = Constrained { value: 3u8 };
+        assert_eq!(c.value, 3);
+        let t = Tuple(1u8, 2);
+        assert_eq!(t.1, 2);
+        let _ = Unit;
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The QLA workspace vendors a minimal subset of its external
+//! dependencies so it builds in hermetic environments (see
+//! `vendor/README.md`). The sibling `serde` stub defines `Serialize`
+//! and `Deserialize` as marker traits; these derives emit real (empty)
+//! `impl` blocks for them, so downstream code with `T: Serialize`
+//! bounds accepts derived types exactly as it would with the registry
+//! crates. Generics are parsed by hand (no `syn` available offline):
+//! lifetimes, type and const parameters, bounds, defaults, and where
+//! clauses are handled; if parsing ever fails on an exotic shape the
+//! derive degrades to emitting nothing rather than erroring.
+//!
+//! Unlike registry serde, no `T: Serialize` bounds are added to the
+//! generated impl — the stub traits carry no methods, so the looser
+//! impl is harmless and keeps the parser simple.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Stand-in for `serde_derive::Serialize`: emits
+/// `impl<...> ::serde::Serialize for T<...> where ... {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, "::serde::Serialize", None)
+}
+
+/// Stand-in for `serde_derive::Deserialize`: emits
+/// `impl<'de, ...> ::serde::Deserialize<'de> for T<...> where ... {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, "::serde::Deserialize<'de>", Some("'de"))
+}
+
+fn expand(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    match parse(input) {
+        Some(item) => {
+            let mut impl_params = Vec::new();
+            if let Some(lt) = extra_lifetime {
+                impl_params.push(lt.to_string());
+            }
+            if !item.impl_generics.is_empty() {
+                impl_params.push(item.impl_generics);
+            }
+            let impl_generics = if impl_params.is_empty() {
+                String::new()
+            } else {
+                format!("<{}>", impl_params.join(", "))
+            };
+            let ty_args = if item.ty_args.is_empty() {
+                String::new()
+            } else {
+                format!("<{}>", item.ty_args)
+            };
+            let code = format!(
+                "impl{impl_generics} {trait_path} for {}{ty_args} {} {{}}",
+                item.name, item.where_clause
+            );
+            code.parse().unwrap_or_default()
+        }
+        // Tolerant fallback: an unparsed shape gets the pre-impl behavior
+        // (marker trait simply not implemented) instead of a hard error.
+        None => TokenStream::new(),
+    }
+}
+
+struct ParsedItem {
+    name: String,
+    /// Generic parameters with bounds kept and defaults stripped,
+    /// without the surrounding angle brackets. Empty if non-generic.
+    impl_generics: String,
+    /// Parameter names only (`'a, T, N`), for the `for Type<...>` side.
+    ty_args: String,
+    /// `where ...` clause (possibly empty), without trailing body.
+    where_clause: String,
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse(input: TokenStream) -> Option<ParsedItem> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i)? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // `struct` / `enum` / `union`, then the type name.
+    match tokens.get(i)? {
+        TokenTree::Ident(kw) if matches!(kw.to_string().as_str(), "struct" | "enum" | "union") => {
+            i += 1;
+        }
+        _ => return None,
+    }
+    let name = match tokens.get(i)? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    i += 1;
+
+    // Optional generic parameter list.
+    let mut param_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        loop {
+            let t = tokens.get(i)?.clone();
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            param_tokens.push(t);
+            i += 1;
+        }
+    }
+
+    // Everything between the generics and the body is the where clause;
+    // tuple structs (`struct Foo<T>(T) where ...;`) carry it after the
+    // parenthesized fields instead. A paren group is only the field body
+    // when we are not already inside a where clause (where clauses can
+    // contain tuple types).
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    let mut in_where = false;
+    let mut saw_paren_body = false;
+    while let Some(t) = tokens.get(i) {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && !saw_paren_body && !in_where =>
+            {
+                saw_paren_body = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            other => {
+                if matches!(other, TokenTree::Ident(id) if id.to_string() == "where") {
+                    in_where = true;
+                }
+                where_tokens.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+
+    let (impl_generics, ty_args) = split_params(&param_tokens)?;
+    Some(ParsedItem {
+        name,
+        impl_generics,
+        ty_args,
+        where_clause: tokens_to_string(&where_tokens),
+    })
+}
+
+/// Split a generic parameter list into (impl-side params with defaults
+/// stripped, use-side argument names). `None` if a parameter has a shape
+/// this mini-parser does not understand.
+fn split_params(tokens: &[TokenTree]) -> Option<(String, String)> {
+    if tokens.is_empty() {
+        return Some((String::new(), String::new()));
+    }
+
+    // Partition on depth-0 commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' | '(' | '[' => depth += 1,
+                '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().expect("non-empty").push(t.clone());
+    }
+    params.retain(|p| !p.is_empty());
+
+    let mut impl_parts = Vec::new();
+    let mut arg_parts = Vec::new();
+    for param in &params {
+        // Strip a depth-0 `= default` suffix for the impl side.
+        let mut kept: Vec<TokenTree> = Vec::new();
+        let mut depth = 0usize;
+        for t in param {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' | '(' | '[' => depth += 1,
+                    '>' | ')' | ']' => depth = depth.saturating_sub(1),
+                    '=' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            kept.push(t.clone());
+        }
+        impl_parts.push(tokens_to_string(&kept));
+
+        // The argument name: `'a` for lifetimes, the ident after `const`
+        // for const params, the leading ident otherwise.
+        let arg = match param.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match param.get(1) {
+                Some(TokenTree::Ident(id)) => format!("'{id}"),
+                _ => return None,
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "const" => match param.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            },
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return None,
+        };
+        arg_parts.push(arg);
+    }
+
+    Some((impl_parts.join(", "), arg_parts.join(", ")))
+}
