@@ -1,29 +1,11 @@
-//! Regenerate the Section 2.1 ballistic-channel numbers: per-trip latency,
-//! pipelined bandwidth (~100 M qubits/s) and accumulated movement error as a
-//! function of channel length.
-
-use qla_physical::{BallisticChannel, TechnologyParams};
+//! Thin shim over `qla-bench run channel-bandwidth`, kept so the historical binary
+//! name for the §2.1 ballistic-channel study keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
+//!
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! channel-bandwidth [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    println!("Section 2.1 — ballistic channel latency and bandwidth\n");
-    let tech = TechnologyParams::expected();
-    println!(
-        "{:>12} {:>16} {:>18} {:>18} {:>16}",
-        "cells", "single trip", "100 qubits (pipelined)", "bandwidth (qb/s)", "traverse failure"
-    );
-    for cells in [10usize, 100, 350, 1000, 3000, 10_000, 30_000] {
-        let chan = BallisticChannel::new(cells, &tech);
-        println!(
-            "{:>12} {:>16} {:>18} {:>18.3e} {:>16.3e}",
-            cells,
-            format!("{}", chan.single_trip_latency()),
-            format!("{}", chan.pipelined_latency(100)),
-            chan.bandwidth_qbps(),
-            chan.traverse_failure()
-        );
-    }
-    println!(
-        "\npaper: 'the ballistic channels provide a bandwidth of ~100M qbps' -> {:.1e} qb/s here",
-        BallisticChannel::new(100, &tech).bandwidth_qbps()
-    );
+    qla_bench::cli::legacy_shim("channel-bandwidth");
 }

@@ -1,52 +1,11 @@
-//! Regenerate the Section 4.1.1 error-correction latencies (Equation 1):
-//! 0.003 s at level 1 and 0.043 s at level 2 in the paper.
+//! Thin shim over `qla-bench run ecc-latency`, kept so the historical binary
+//! name for the §4.1.1 Equation 1 latencies keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
 //!
-//! Pass `--serial` to show the ablation where the level-2 ancilla blocks are
-//! prepared serially instead of in parallel (the paper notes Eq. 1 is an
-//! overestimate for exactly this reason).
-
-use qla_qec::{EccLatencies, EccLatencyModel, ScheduleShape};
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! ecc-latency [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    let serial = std::env::args().any(|a| a == "--serial");
-    println!("Section 4.1.1 — error-correction step latency (Equation 1)\n");
-    let model = EccLatencyModel::expected();
-    let (r1, r2) = EccLatencyModel::paper_nontrivial_rates();
-
-    println!(
-        "{:>8} {:>16} {:>16} {:>16} {:>16}",
-        "level", "ancilla prep", "syndrome", "ECC (trivial)", "ECC (expected)"
-    );
-    for level in 1..=3u32 {
-        let rate = if level == 1 { r1 } else { r2 };
-        println!(
-            "{:>8} {:>16} {:>16} {:>16} {:>16}",
-            level,
-            format!("{}", model.ancilla_prep(level)),
-            format!("{}", model.syndrome_extraction(level)),
-            format!("{}", model.ecc_step_trivial(level)),
-            format!("{}", model.ecc_step_expected(level, rate)),
-        );
-    }
-
-    let ours = EccLatencies::from_model(&model);
-    let paper = EccLatencies::paper();
-    println!("\ncomparison with the published constants:");
-    println!("  level 1: model {} vs paper {}", ours.level1, paper.level1);
-    println!("  level 2: model {} vs paper {}", ours.level2, paper.level2);
-
-    if serial {
-        // Ablation: double the effective encoding depth to emulate serial
-        // ancilla handling at level 2.
-        let shape = ScheduleShape {
-            encode_depth_2q: ScheduleShape::default().encode_depth_2q * 2,
-            verify_depth_2q: ScheduleShape::default().verify_depth_2q * 2,
-            ..ScheduleShape::default()
-        };
-        let serial_model = EccLatencyModel::new(model.tech, shape);
-        println!(
-            "\nablation (--serial): level-2 ECC with serial ancilla handling: {}",
-            serial_model.ecc_step_trivial(2)
-        );
-    }
+    qla_bench::cli::legacy_shim("ecc-latency");
 }

@@ -1,44 +1,11 @@
-//! Regenerate the Section 5 walk-through: the full accounting from Toffoli
-//! gates to error-correction steps to wall-clock hours for factoring a
-//! 128-bit number, plus the physical scale of the machine that runs it.
-
-use qla_core::QlaMachine;
-use qla_shor::{classical_mips_years, ShorEstimator};
+//! Thin shim over `qla-bench run factor128-walkthrough`, kept so the historical binary
+//! name for the §5 128-bit walk-through keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
+//!
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! factor128-walkthrough [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    println!("Section 5 — factoring a 128-bit number on the QLA\n");
-    let r = ShorEstimator::default().estimate(128);
-    println!("logical qubits            : {}", r.logical_qubits);
-    println!("Toffoli gates             : {}", r.toffoli_gates);
-    println!(
-        "EC steps (21/Toffoli +QFT): {:.3e}   [paper: 1.34e6]",
-        r.ecc_steps as f64
-    );
-    println!(
-        "single-run time           : {:.1} h      [paper: ~16 h]",
-        r.single_run_time.as_hours()
-    );
-    println!(
-        "expected time (x1.3)      : {:.1} h      [paper: ~21 h]",
-        r.expected_time.as_hours()
-    );
-    println!(
-        "chip area                 : {:.2} m^2   [paper: 0.11 m^2]",
-        r.area_m2
-    );
-
-    let machine = QlaMachine::with_logical_qubits(r.logical_qubits as usize);
-    println!(
-        "physical ion sites        : {:.2e}  [paper quotes ~7e6 ions; our count includes\n\
-         \u{20}                           every ancilla and verification ion of the Fig. 5 structure]",
-        machine.physical_ion_sites() as f64
-    );
-    println!(
-        "chip edge (square)        : {:.1} cm",
-        (machine.chip_area_m2()).sqrt() * 100.0
-    );
-    println!(
-        "\nclassical NFS baseline for 128 bits: {:.2e} MIPS-years",
-        classical_mips_years(128)
-    );
+    qla_bench::cli::legacy_shim("factor128-walkthrough");
 }

@@ -1,49 +1,11 @@
-//! Regenerate Figure 7: failure probability of a single logical one-qubit
-//! gate followed by recursive error correction, at levels 1 and 2, as a
-//! function of the physical component failure rate; plus the empirical
-//! threshold (the crossing point, (2.1 ± 1.8)e-3 in the paper).
+//! Thin shim over `qla-bench run fig7-threshold`, kept so the historical binary
+//! name for Figure 7 (threshold Monte-Carlo) keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
 //!
-//! Usage: `cargo run --release -p qla-bench --bin fig7_threshold [trials]`
-
-use qla_core::ThresholdExperiment;
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! fig7-threshold [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000);
-    println!("Figure 7 — logical gate failure vs component failure ({trials} trials/point)\n");
-
-    let experiment = ThresholdExperiment {
-        trials,
-        seed: 0xF1607,
-        movement_error: 1.2e-5,
-    };
-
-    // The paper sweeps roughly 1e-3 .. 2.5e-3; we extend the range so both
-    // the helping and hurting regimes are visible.
-    let rates = [
-        5e-4, 7.5e-4, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3, 2.0e-3, 2.25e-3, 2.5e-3, 4e-3, 8e-3, 1.6e-2,
-    ];
-    println!(
-        "{:>14} {:>16} {:>16} {:>12}",
-        "physical p", "level-1 rate", "level-2 rate", "p < pth?"
-    );
-    for point in experiment.sweep(&rates) {
-        println!(
-            "{:>14.2e} {:>16.3e} {:>16.3e} {:>12}",
-            point.physical_rate,
-            point.level1_rate,
-            point.level2_rate,
-            point.level2_rate <= point.level1_rate
-        );
-    }
-
-    match experiment.estimate_threshold(3e-4, 3e-2, 14) {
-        Some(pth) => println!(
-            "\nempirical threshold (level-1 curve crosses y = x): {pth:.2e}  \
-             [paper: (2.1 +/- 1.8)e-3]"
-        ),
-        None => println!("\nno threshold crossing found in the scanned range"),
-    }
+    qla_bench::cli::legacy_shim("fig7-threshold");
 }

@@ -1,63 +1,11 @@
-//! Regenerate Figure 9: total connection time between two distant logical
-//! qubits as a function of total distance, for each teleportation-island
-//! separation d ∈ {35, 70, 100, 350, 500, 750, 1000} cells.
+//! Thin shim over `qla-bench run fig9-connection`, kept so the historical binary
+//! name for Figure 9 (connection times) keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
 //!
-//! Pass `--ballistic-baseline` to also print the failure probability of the
-//! "simplistic" approach (ballistically moving the logical qubit), the
-//! comparison that motivates the teleportation interconnect.
-
-use qla_layout::BallisticRoute;
-use qla_network::{plan_connection, InterconnectParams, FIGURE9_SEPARATIONS};
-use qla_physical::TechnologyParams;
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! fig9-connection [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    let ballistic = std::env::args().any(|a| a == "--ballistic-baseline");
-    println!("Figure 9 — connection time vs distance by island separation\n");
-    let params = InterconnectParams::paper_calibrated();
-
-    print!("{:>10}", "cells");
-    for d in FIGURE9_SEPARATIONS {
-        print!("{:>11}", format!("d={d}"));
-    }
-    if ballistic {
-        print!("{:>14}", "ballistic Pf");
-    }
-    println!();
-
-    let tech = TechnologyParams::expected();
-    for distance in (2_000..=30_000).step_by(2_000) {
-        print!("{:>10}", distance);
-        for d in FIGURE9_SEPARATIONS {
-            match plan_connection(&params, distance, d) {
-                Ok(plan) => print!("{:>10.1}ms", plan.total_time.as_millis()),
-                Err(_) => print!("{:>11}", "-"),
-            }
-        }
-        if ballistic {
-            let route = BallisticRoute {
-                dx_cells: distance,
-                dy_cells: 0,
-                corner_turns: 2,
-            };
-            print!("{:>14.3e}", route.logical_block_failure(&tech, 49));
-        }
-        println!();
-    }
-
-    // Locate the small-d / large-d crossover the paper puts near 6000 cells.
-    let mut last_small_win = None;
-    for distance in (1_000..20_000).step_by(200) {
-        if let (Ok(a), Ok(b)) = (
-            plan_connection(&params, distance, 100),
-            plan_connection(&params, distance, 350),
-        ) {
-            if a.total_time < b.total_time {
-                last_small_win = Some(distance);
-            }
-        }
-    }
-    println!(
-        "\nd=100 is faster than d=350 up to ~{} cells (paper: crossover ~6000 cells)",
-        last_small_win.unwrap_or(0)
-    );
+    qla_bench::cli::legacy_shim("fig9-connection");
 }

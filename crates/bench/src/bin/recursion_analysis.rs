@@ -1,44 +1,11 @@
-//! Regenerate the Section 4.1.2 analysis (Equation 2): encoded failure rates
-//! and maximum computation sizes per recursion level, and why level 2 is
-//! sufficient for Shor-1024.
-
-use qla_qec::threshold::SHOR_1024_STEPS;
-use qla_qec::{ConcatenatedSteane, ThresholdAnalysis};
+//! Thin shim over `qla-bench run recursion-analysis`, kept so the historical binary
+//! name for the §4.1.2 Equation 2 analysis keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
+//!
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! recursion-analysis [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    println!("Section 4.1.2 — recursion level and system size (Equation 2)\n");
-    let theory = ThresholdAnalysis::paper_design_point();
-    let empirical = ThresholdAnalysis::empirical_design_point();
-
-    println!(
-        "p0 = {:.3e}, r = {}, pth(theory) = {:.2e}, pth(ARQ) = {:.2e}\n",
-        theory.p0, theory.r, theory.pth, empirical.pth
-    );
-    println!(
-        "{:>6} {:>14} {:>16} {:>16} {:>16} {:>14}",
-        "level", "data qubits", "ion sites", "Pf (theory pth)", "Pf (ARQ pth)", "max S = K*Q"
-    );
-    for level in 1..=4u32 {
-        let code = ConcatenatedSteane::new(level);
-        println!(
-            "{:>6} {:>14} {:>16} {:>16.2e} {:>16.2e} {:>14.2e}",
-            level,
-            code.data_qubits(),
-            code.total_ions(),
-            theory.encoded_failure_rate(level),
-            empirical.encoded_failure_rate(level),
-            theory.max_computation_size(level),
-        );
-    }
-
-    println!(
-        "\nShor-1024 needs S = {:.1e} steps; required recursion level = {:?}",
-        SHOR_1024_STEPS,
-        theory.required_level(SHOR_1024_STEPS, 4)
-    );
-    println!(
-        "paper: level-2 failure rate 1.0e-16, S = 9.9e15 -> ours {:.1e}, {:.1e}",
-        theory.encoded_failure_rate(2),
-        theory.max_computation_size(2)
-    );
+    qla_bench::cli::legacy_shim("recursion-analysis");
 }

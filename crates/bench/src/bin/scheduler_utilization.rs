@@ -1,45 +1,11 @@
-//! Regenerate the Section 5 scheduler study: aggregate bandwidth utilisation
-//! of the greedy EPR scheduler on fault-tolerant Toffoli traffic, and whether
-//! communication fully overlaps with error correction at each bandwidth.
+//! Thin shim over `qla-bench run scheduler-utilization`, kept so the historical binary
+//! name for the §5 scheduler study keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
 //!
-//! Pass `--sweep-bandwidth` for the ablation over bandwidths 1, 2, 4 and 8
-//! (the paper's design point is bandwidth 2).
-
-use qla_sched::{random_toffoli_sites, schedule_toffoli_traffic, Mesh};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! scheduler-utilization [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    let sweep = std::env::args().any(|a| a == "--sweep-bandwidth");
-    println!("Section 5 — greedy EPR scheduler on Toffoli traffic\n");
-
-    // A 20x20 tile neighbourhood of the chip; each channel delivers ~70
-    // purified pairs per level-2 error-correction window.
-    let bandwidths: Vec<usize> = if sweep { vec![1, 2, 4, 8] } else { vec![2] };
-    println!(
-        "{:>10} {:>10} {:>12} {:>14} {:>14} {:>16}",
-        "bandwidth", "toffolis", "pairs", "windows", "utilization", "overlaps ECC?"
-    );
-    for bandwidth in bandwidths {
-        for toffolis in [4usize, 16, 48] {
-            let mesh = Mesh::new(20, 20, bandwidth).with_pairs_per_window(70);
-            let mut rng = ChaCha8Rng::seed_from_u64(2005);
-            let sites = random_toffoli_sites(&mesh, toffolis, &mut rng);
-            let report = schedule_toffoli_traffic(&mesh, &sites, 4);
-            println!(
-                "{:>10} {:>10} {:>12} {:>14} {:>14.1}% {:>16}",
-                bandwidth,
-                toffolis,
-                report.result.pairs_delivered(),
-                report.result.windows_used,
-                report.result.utilization * 100.0,
-                report.overlaps_with_ecc
-            );
-        }
-    }
-    println!(
-        "\npaper: the greedy scheduler 'scalably achieves an average of ~23% aggregate \
-         bandwidth utilization' at bandwidth 2, with communication always overlapping \
-         error correction."
-    );
+    qla_bench::cli::legacy_shim("scheduler-utilization");
 }

@@ -1,68 +1,11 @@
-//! Regenerate Table 1: operation times and failure probabilities of the
-//! trapped-ion technology (current vs expected).
-
-use qla_physical::{FailureRates, OperationTimes, TechnologyParams};
+//! Thin shim over `qla-bench run table1`, kept so the historical binary
+//! name for Table 1 (technology parameters) keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
+//!
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! table1 [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    println!("Table 1 — trapped-ion technology parameters\n");
-    let times = OperationTimes::table1();
-    let current = FailureRates::current();
-    let expected = FailureRates::expected();
-    println!(
-        "{:<14} {:>14} {:>14} {:>14}",
-        "Operation", "Time", "P_current", "P_expected"
-    );
-    let rows = [
-        (
-            "Single gate",
-            format!("{}", times.single_gate),
-            current.single_gate,
-            expected.single_gate,
-        ),
-        (
-            "Double gate",
-            format!("{}", times.double_gate),
-            current.double_gate,
-            expected.double_gate,
-        ),
-        (
-            "Measure",
-            format!("{}", times.measure),
-            current.measure,
-            expected.measure,
-        ),
-        (
-            "Movement",
-            format!("{}/um", times.move_per_um),
-            current.move_per_um,
-            expected.move_per_cell,
-        ),
-        ("Split", format!("{}", times.split), f64::NAN, f64::NAN),
-        ("Cooling", format!("{}", times.cool), f64::NAN, f64::NAN),
-        (
-            "Memory time",
-            format!("{}", times.memory_lifetime),
-            f64::NAN,
-            f64::NAN,
-        ),
-    ];
-    for (name, time, cur, exp) in rows {
-        let fmt = |p: f64| {
-            if p.is_nan() {
-                "-".to_string()
-            } else {
-                format!("{p:.1e}")
-            }
-        };
-        println!("{name:<14} {time:>14} {:>14} {:>14}", fmt(cur), fmt(exp));
-    }
-
-    let p0 = expected.mean_component_rate();
-    println!("\nmean expected component failure rate p0 = {p0:.3e} (used in Eq. 2)");
-    let tech = TechnologyParams::expected();
-    println!(
-        "cell pitch {} um -> cell area {:.1e} m^2",
-        tech.cell_size_um,
-        tech.cell_area_m2()
-    );
+    qla_bench::cli::legacy_shim("table1");
 }

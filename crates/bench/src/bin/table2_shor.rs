@@ -1,52 +1,11 @@
-//! Regenerate Table 2: system numbers for Shor's algorithm factoring an
-//! N-bit number on the QLA (logical qubits, Toffoli gates, total gates, chip
-//! area and run time), side by side with the paper's published values.
-
-use qla_shor::ShorEstimator;
-
-/// The paper's Table 2 for comparison.
-const PAPER: [(usize, u64, u64, u64, f64, f64); 4] = [
-    (128, 37_971, 63_729, 115_033, 0.11, 0.9),
-    (512, 150_771, 397_910, 1_016_295, 0.45, 5.5),
-    (1024, 301_251, 964_919, 3_270_582, 0.90, 13.4),
-    (2048, 602_259, 2_301_767, 11_148_214, 1.80, 32.1),
-];
+//! Thin shim over `qla-bench run table2-shor`, kept so the historical binary
+//! name for Table 2 (Shor system numbers) keeps working. All logic lives in
+//! `qla_bench::experiments` behind the experiment registry; output goes
+//! through the typed `qla_report::Report` renderers.
+//!
+//! Prefer the unified driver: `cargo run --release -p qla-bench -- run
+//! table2-shor [--trials N] [--seed S] [--format text|json|csv]`.
 
 fn main() {
-    println!("Table 2 — Shor's algorithm on the QLA (ours vs paper)\n");
-    let estimator = ShorEstimator::default();
-    println!(
-        "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>13} {:>13} | {:>8} {:>8} | {:>7} {:>7}",
-        "N",
-        "qubits",
-        "(paper)",
-        "Toffoli",
-        "(paper)",
-        "total gates",
-        "(paper)",
-        "area",
-        "(paper)",
-        "days",
-        "(paper)"
-    );
-    for (n, p_qubits, p_toffoli, p_total, p_area, p_days) in PAPER {
-        let r = estimator.estimate(n);
-        println!(
-            "{:>6} | {:>12} {:>12} | {:>12} {:>12} | {:>13} {:>13} | {:>8.2} {:>8.2} | {:>7.1} {:>7.1}",
-            n,
-            r.logical_qubits,
-            p_qubits,
-            r.toffoli_gates,
-            p_toffoli,
-            r.total_gates,
-            p_total,
-            r.area_m2,
-            p_area,
-            r.days(),
-            p_days
-        );
-    }
-    println!(
-        "\n(run times use the paper's level-2 EC step of 0.043 s and 1.3 average repetitions)"
-    );
+    qla_bench::cli::legacy_shim("table2-shor");
 }

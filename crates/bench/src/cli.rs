@@ -1,0 +1,246 @@
+//! The shared CLI-argument helper and the driver logic behind the
+//! `qla-bench` binary and the legacy per-artefact shims.
+//!
+//! Before the redesign every binary in `src/bin/` hand-rolled its own
+//! `std::env::args().nth(1)…` parsing; this module is the single replacement.
+//! It understands the unified flag set (`--trials`, `--seed`, `--format`,
+//! `--out-dir`), a bare positional integer as the trial count (the historical
+//! calling convention of `fig7_threshold`), and tolerates the historical
+//! ablation flags (`--serial`, `--sweep-bandwidth`, `--ballistic-baseline`)
+//! whose ablations are now always part of the corresponding experiment's
+//! report.
+
+use crate::registry;
+use qla_core::ExperimentContext;
+use qla_report::{Format, Report};
+use std::path::PathBuf;
+
+/// Seed used when the caller does not pass `--seed` (the paper's year).
+pub const DEFAULT_SEED: u64 = 2005;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Trial budget; `None` means "use the experiment's default".
+    pub trials: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Output format.
+    pub format: Format,
+    /// Directory to write one `<experiment>.<ext>` file per report into
+    /// (reports still print to stdout when unset).
+    pub out_dir: Option<PathBuf>,
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            trials: None,
+            seed: DEFAULT_SEED,
+            format: Format::Text,
+            out_dir: None,
+            positional: Vec::new(),
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parse the common flag set from an argument iterator (without the
+    /// program name).
+    ///
+    /// # Errors
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+        let mut parsed = CliArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    let v = iter.next().ok_or("--trials needs a value")?;
+                    parsed.trials =
+                        Some(v.parse().map_err(|_| format!("bad --trials value '{v}'"))?);
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    parsed.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+                }
+                "--format" => {
+                    let v = iter.next().ok_or("--format needs a value")?;
+                    parsed.format = v.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--out-dir" => {
+                    let v = iter.next().ok_or("--out-dir needs a value")?;
+                    parsed.out_dir = Some(PathBuf::from(v));
+                }
+                // Historical ablation flags: the ablations are now always
+                // included in the reports, so these are accepted and ignored.
+                "--serial" | "--sweep-bandwidth" | "--ballistic-baseline" => {}
+                flag if flag.starts_with("--") => {
+                    return Err(format!("unknown flag '{flag}'"));
+                }
+                positional => {
+                    // The historical convention: a bare integer is the trial
+                    // count. A second one is ambiguous (old binaries took at
+                    // most one), so reject it rather than let it silently
+                    // override.
+                    if let Ok(trials) = positional.parse::<usize>() {
+                        if parsed.trials.is_some() {
+                            return Err(format!(
+                                "trial count given more than once (second value: '{positional}'); \
+                                 use --trials N exactly once"
+                            ));
+                        }
+                        parsed.trials = Some(trials);
+                    } else {
+                        parsed.positional.push(positional.to_string());
+                    }
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The execution context for an experiment with the given default trial
+    /// budget.
+    #[must_use]
+    pub fn context(&self, default_trials: usize) -> ExperimentContext {
+        ExperimentContext::new(self.trials.unwrap_or(default_trials), self.seed)
+    }
+}
+
+/// Run one registered experiment under the parsed arguments and emit its
+/// report (stdout, plus a file when `--out-dir` is set).
+///
+/// # Errors
+/// Returns a message when the experiment is unknown or the output file
+/// cannot be written.
+pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
+    let experiment = registry::find(name).ok_or_else(|| {
+        format!(
+            "unknown experiment '{name}'; available: {}",
+            registry::names().join(", ")
+        )
+    })?;
+    let ctx = args.context(experiment.default_trials());
+    let report = experiment.run_report(&ctx);
+    emit(&report, args)?;
+    Ok(report)
+}
+
+/// Print a report in the requested format and, when `--out-dir` is set,
+/// write it to `<out_dir>/<name>.<ext>` as well.
+///
+/// # Errors
+/// Returns a message when the output directory or file cannot be written.
+pub fn emit(report: &Report, args: &CliArgs) -> Result<(), String> {
+    let rendered = report.render(args.format);
+    print!("{rendered}");
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.{}", report.name, args.format.extension()));
+        std::fs::write(&path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Entry point for the legacy per-artefact shim binaries: parse the
+/// process's own arguments with the shared helper, run the named experiment,
+/// and print its report — exiting with status 2 on a usage error.
+pub fn legacy_shim(name: &str) {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run_experiment(name, &args) {
+        eprintln!("{message}");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn defaults_apply_when_nothing_is_passed() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CliArgs::default());
+        assert_eq!(args.context(123).trials, 123);
+        assert_eq!(args.context(123).seed, DEFAULT_SEED);
+    }
+
+    #[test]
+    fn the_full_flag_set_parses() {
+        let args = parse(&[
+            "run",
+            "fig7-threshold",
+            "--trials",
+            "500",
+            "--seed",
+            "7",
+            "--format",
+            "json",
+            "--out-dir",
+            "reports",
+        ])
+        .unwrap();
+        assert_eq!(args.positional, vec!["run", "fig7-threshold"]);
+        assert_eq!(args.trials, Some(500));
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.format, Format::Json);
+        assert_eq!(args.out_dir, Some(PathBuf::from("reports")));
+        assert_eq!(args.context(123).trials, 500);
+    }
+
+    #[test]
+    fn bare_integers_are_trial_counts_like_the_old_binaries() {
+        let args = parse(&["25000"]).unwrap();
+        assert_eq!(args.trials, Some(25_000));
+        assert!(args.positional.is_empty());
+    }
+
+    #[test]
+    fn historical_ablation_flags_are_tolerated() {
+        let args = parse(&["--serial", "--sweep-bandwidth", "--ballistic-baseline"]).unwrap();
+        assert_eq!(args, CliArgs::default());
+    }
+
+    #[test]
+    fn malformed_input_is_reported_not_panicked() {
+        assert!(parse(&["--trials"]).unwrap_err().contains("--trials"));
+        assert!(parse(&["--trials", "x"]).unwrap_err().contains("x"));
+        assert!(parse(&["--format", "yaml"]).unwrap_err().contains("yaml"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+    }
+
+    #[test]
+    fn a_second_bare_trial_count_is_rejected_not_silently_overriding() {
+        assert!(parse(&["40000", "7"])
+            .unwrap_err()
+            .contains("more than once"));
+        assert!(parse(&["--trials", "500", "7"])
+            .unwrap_err()
+            .contains("more than once"));
+    }
+
+    #[test]
+    fn unknown_experiment_lists_the_registry() {
+        let err = run_experiment("no-such-thing", &CliArgs::default()).unwrap_err();
+        assert!(err.contains("unknown experiment"));
+        assert!(err.contains("fig7-threshold"));
+    }
+}

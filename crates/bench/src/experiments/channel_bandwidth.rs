@@ -1,0 +1,100 @@
+//! Section 2.1: ballistic-channel latency, pipelined bandwidth
+//! (~100 M qubits/s) and accumulated movement error vs channel length.
+
+use qla_core::{Experiment, ExperimentContext};
+use qla_physical::{BallisticChannel, TechnologyParams};
+use qla_report::{row, Column, Report};
+use serde::Serialize;
+
+/// Channel lengths (cells) the table sweeps.
+pub const CHANNEL_LENGTHS: [usize; 7] = [10, 100, 350, 1000, 3000, 10_000, 30_000];
+
+/// The ballistic-channel experiment (deterministic; ignores trials).
+pub struct ChannelBandwidth;
+
+/// One channel length's figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelRow {
+    /// Channel length in cells.
+    pub cells: usize,
+    /// Latency of a single end-to-end trip, in microseconds.
+    pub single_trip_us: f64,
+    /// Latency of 100 pipelined qubits, in microseconds.
+    pub pipelined_100_us: f64,
+    /// Sustained pipelined bandwidth in qubits per second.
+    pub bandwidth_qbps: f64,
+    /// Probability a qubit is corrupted traversing the full channel.
+    pub traverse_failure: f64,
+}
+
+/// Typed output of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelOutput {
+    /// One row per channel length.
+    pub rows: Vec<ChannelRow>,
+    /// Bandwidth of the reference 100-cell channel (the paper's headline
+    /// "~100M qbps").
+    pub reference_bandwidth_qbps: f64,
+}
+
+impl Experiment for ChannelBandwidth {
+    type Output = ChannelOutput;
+
+    fn name(&self) -> &'static str {
+        "channel-bandwidth"
+    }
+    fn title(&self) -> &'static str {
+        "Section 2.1 — ballistic channel latency and bandwidth"
+    }
+    fn description(&self) -> &'static str {
+        "Per-trip latency, pipelined bandwidth and movement error vs channel length"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> ChannelOutput {
+        let tech = TechnologyParams::expected();
+        let rows = CHANNEL_LENGTHS
+            .iter()
+            .map(|&cells| {
+                let chan = BallisticChannel::new(cells, &tech);
+                ChannelRow {
+                    cells,
+                    single_trip_us: chan.single_trip_latency().as_micros(),
+                    pipelined_100_us: chan.pipelined_latency(100).as_micros(),
+                    bandwidth_qbps: chan.bandwidth_qbps(),
+                    traverse_failure: chan.traverse_failure(),
+                }
+            })
+            .collect();
+        ChannelOutput {
+            rows,
+            reference_bandwidth_qbps: BallisticChannel::new(100, &tech).bandwidth_qbps(),
+        }
+    }
+
+    fn report(&self, _ctx: &ExperimentContext, output: &ChannelOutput) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title()).with_columns([
+            Column::with_unit("length", "cells"),
+            Column::with_unit("single trip", "µs"),
+            Column::with_unit("100 qubits pipelined", "µs"),
+            Column::with_unit("bandwidth", "qb/s"),
+            Column::new("traverse failure"),
+        ]);
+        for row in &output.rows {
+            r.push_row(row![
+                row.cells,
+                row.single_trip_us,
+                row.pipelined_100_us,
+                row.bandwidth_qbps,
+                row.traverse_failure
+            ]);
+        }
+        r.push_note(format!(
+            "paper: 'the ballistic channels provide a bandwidth of ~100M qbps' -> {:.1e} qb/s here",
+            output.reference_bandwidth_qbps
+        ));
+        r
+    }
+}

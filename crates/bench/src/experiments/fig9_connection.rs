@@ -1,0 +1,124 @@
+//! Figure 9: end-to-end connection time vs distance for each
+//! teleportation-island separation, with the ballistic-movement baseline
+//! that motivates the interconnect.
+
+use qla_core::{Experiment, ExperimentContext};
+use qla_layout::BallisticRoute;
+use qla_network::{plan_connection, InterconnectParams, FIGURE9_SEPARATIONS};
+use qla_physical::TechnologyParams;
+use qla_report::{Column, Report, Value};
+use serde::Serialize;
+
+/// The distances (cells) the table sweeps.
+const DISTANCE_STEP: usize = 2_000;
+const DISTANCE_MAX: usize = 30_000;
+
+/// The Figure 9 connection-time experiment (deterministic; ignores trials).
+pub struct Fig9Connection;
+
+/// One row: a distance, the connection time per island separation (`None`
+/// where the fidelity budget is infeasible), and the ballistic baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct ConnectionRow {
+    /// Total distance in cells.
+    pub distance_cells: usize,
+    /// Connection time in milliseconds per entry of
+    /// [`FIGURE9_SEPARATIONS`]; `None` where the plan is infeasible.
+    pub times_ms: Vec<Option<f64>>,
+    /// Failure probability of ballistically moving the 49-ion logical block
+    /// instead (the "simplistic approach").
+    pub ballistic_failure: f64,
+}
+
+/// Typed output: the sweep plus the small-d/large-d crossover.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Output {
+    /// One row per swept distance.
+    pub rows: Vec<ConnectionRow>,
+    /// Last distance (cells) at which d=100 still beats d=350 (the paper
+    /// puts the crossover near 6000 cells).
+    pub crossover_cells: Option<usize>,
+}
+
+impl Experiment for Fig9Connection {
+    type Output = Fig9Output;
+
+    fn name(&self) -> &'static str {
+        "fig9-connection"
+    }
+    fn title(&self) -> &'static str {
+        "Figure 9 — connection time vs distance by island separation"
+    }
+    fn description(&self) -> &'static str {
+        "Teleportation-interconnect planning across island separations, with ballistic baseline"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> Fig9Output {
+        let params = InterconnectParams::paper_calibrated();
+        let tech = TechnologyParams::expected();
+        let rows = (DISTANCE_STEP..=DISTANCE_MAX)
+            .step_by(DISTANCE_STEP)
+            .map(|distance| {
+                let times_ms = FIGURE9_SEPARATIONS
+                    .iter()
+                    .map(|&d| {
+                        plan_connection(&params, distance, d)
+                            .ok()
+                            .map(|plan| plan.total_time.as_millis())
+                    })
+                    .collect();
+                let route = BallisticRoute {
+                    dx_cells: distance,
+                    dy_cells: 0,
+                    corner_turns: 2,
+                };
+                ConnectionRow {
+                    distance_cells: distance,
+                    times_ms,
+                    ballistic_failure: route.logical_block_failure(&tech, 49),
+                }
+            })
+            .collect();
+
+        let mut crossover_cells = None;
+        for distance in (1_000..20_000).step_by(200) {
+            if let (Ok(a), Ok(b)) = (
+                plan_connection(&params, distance, 100),
+                plan_connection(&params, distance, 350),
+            ) {
+                if a.total_time < b.total_time {
+                    crossover_cells = Some(distance);
+                }
+            }
+        }
+        Fig9Output {
+            rows,
+            crossover_cells,
+        }
+    }
+
+    fn report(&self, _ctx: &ExperimentContext, output: &Fig9Output) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title())
+            .with_column(Column::with_unit("distance", "cells"));
+        for d in FIGURE9_SEPARATIONS {
+            r = r.with_column(Column::with_unit(format!("d={d}"), "ms"));
+        }
+        r = r.with_column(Column::new("ballistic Pf"));
+        for row in &output.rows {
+            let mut cells = vec![Value::from(row.distance_cells)];
+            cells.extend(row.times_ms.iter().map(|t| Value::from(*t)));
+            cells.push(Value::from(row.ballistic_failure));
+            r.push_row(cells);
+        }
+        match output.crossover_cells {
+            Some(c) => r.push_note(format!(
+                "d=100 is faster than d=350 up to ~{c} cells (paper: crossover ~6000 cells)"
+            )),
+            None => r.push_note("d=100 never beats d=350 in the scanned range"),
+        }
+        r
+    }
+}

@@ -1,0 +1,27 @@
+//! The nine paper artefacts as [`Experiment`](qla_core::Experiment)
+//! implementations.
+//!
+//! Each module holds one experiment: a unit struct implementing
+//! `Experiment`, a `Serialize`-able typed output, and the projection of that
+//! output into a [`qla_report::Report`]. Adding a new artefact is ~30 lines
+//! of the same shape plus one line in [`crate::registry`].
+
+pub mod channel_bandwidth;
+pub mod ecc_latency;
+pub mod factor128;
+pub mod fig7_threshold;
+pub mod fig9_connection;
+pub mod recursion_analysis;
+pub mod scheduler_utilization;
+pub mod table1;
+pub mod table2_shor;
+
+pub use channel_bandwidth::ChannelBandwidth;
+pub use ecc_latency::EccLatency;
+pub use factor128::Factor128Walkthrough;
+pub use fig7_threshold::Fig7Threshold;
+pub use fig9_connection::Fig9Connection;
+pub use recursion_analysis::RecursionAnalysis;
+pub use scheduler_utilization::SchedulerUtilization;
+pub use table1::Table1;
+pub use table2_shor::Table2Shor;

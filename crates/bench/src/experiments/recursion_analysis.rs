@@ -1,0 +1,125 @@
+//! Section 4.1.2: encoded failure rates and maximum computation sizes per
+//! recursion level (Equation 2), and why level 2 suffices for Shor-1024.
+
+use qla_core::{Experiment, ExperimentContext};
+use qla_qec::threshold::SHOR_1024_STEPS;
+use qla_qec::{ConcatenatedSteane, ThresholdAnalysis};
+use qla_report::{row, Column, Report};
+use serde::Serialize;
+
+/// The Equation 2 recursion analysis (deterministic; ignores trials).
+pub struct RecursionAnalysis;
+
+/// One recursion level of the analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecursionRow {
+    /// Recursion level.
+    pub level: u32,
+    /// Data qubits of the concatenated code.
+    pub data_qubits: u64,
+    /// Total ion sites of the Figure 5 structure.
+    pub ion_sites: u64,
+    /// Encoded failure rate at the theoretical threshold.
+    pub failure_theory: f64,
+    /// Encoded failure rate at the ARQ-measured threshold.
+    pub failure_empirical: f64,
+    /// Maximum computation size `S = K·Q` (theory threshold).
+    pub max_computation_size: f64,
+}
+
+/// Typed output of the analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecursionOutput {
+    /// Levels 1..=4.
+    pub rows: Vec<RecursionRow>,
+    /// The recursion level Shor-1024 requires (None if above threshold).
+    pub required_level_shor1024: Option<u32>,
+    /// Component failure probability `p0` of the design point.
+    pub p0: f64,
+    /// Block communication distance `r` (cells).
+    pub r: f64,
+    /// Theoretical threshold.
+    pub pth_theory: f64,
+    /// ARQ-measured threshold.
+    pub pth_empirical: f64,
+}
+
+impl Experiment for RecursionAnalysis {
+    type Output = RecursionOutput;
+
+    fn name(&self) -> &'static str {
+        "recursion-analysis"
+    }
+    fn title(&self) -> &'static str {
+        "Section 4.1.2 — recursion level and system size (Equation 2)"
+    }
+    fn description(&self) -> &'static str {
+        "Encoded failure rates and max computation size per recursion level"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> RecursionOutput {
+        let theory = ThresholdAnalysis::paper_design_point();
+        let empirical = ThresholdAnalysis::empirical_design_point();
+        let rows = (1..=4u32)
+            .map(|level| {
+                let code = ConcatenatedSteane::new(level);
+                RecursionRow {
+                    level,
+                    data_qubits: code.data_qubits(),
+                    ion_sites: code.total_ions(),
+                    failure_theory: theory.encoded_failure_rate(level),
+                    failure_empirical: empirical.encoded_failure_rate(level),
+                    max_computation_size: theory.max_computation_size(level),
+                }
+            })
+            .collect();
+        RecursionOutput {
+            rows,
+            required_level_shor1024: theory.required_level(SHOR_1024_STEPS, 4),
+            p0: theory.p0,
+            r: theory.r,
+            pth_theory: theory.pth,
+            pth_empirical: empirical.pth,
+        }
+    }
+
+    fn report(&self, _ctx: &ExperimentContext, output: &RecursionOutput) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title())
+            .with_param("p0", output.p0)
+            .with_param("r", output.r)
+            .with_param("pth_theory", output.pth_theory)
+            .with_param("pth_arq", output.pth_empirical)
+            .with_columns([
+                Column::new("level"),
+                Column::new("data qubits"),
+                Column::new("ion sites"),
+                Column::new("Pf (theory pth)"),
+                Column::new("Pf (ARQ pth)"),
+                Column::new("max S = K*Q"),
+            ]);
+        for row in &output.rows {
+            r.push_row(row![
+                row.level,
+                row.data_qubits,
+                row.ion_sites,
+                row.failure_theory,
+                row.failure_empirical,
+                row.max_computation_size
+            ]);
+        }
+        r.push_note(format!(
+            "Shor-1024 needs S = {SHOR_1024_STEPS:.1e} steps; required recursion level = {:?}",
+            output.required_level_shor1024
+        ));
+        if let Some(level2) = output.rows.iter().find(|row| row.level == 2) {
+            r.push_note(format!(
+                "paper: level-2 failure rate 1.0e-16, S = 9.9e15 -> ours {:.1e}, {:.1e}",
+                level2.failure_theory, level2.max_computation_size
+            ));
+        }
+        r
+    }
+}

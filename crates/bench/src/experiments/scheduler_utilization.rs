@@ -1,0 +1,136 @@
+//! Section 5: aggregate bandwidth utilisation of the greedy EPR scheduler on
+//! fault-tolerant Toffoli traffic, across bandwidths (the paper's design
+//! point is bandwidth 2; the old `--sweep-bandwidth` ablation is always
+//! included).
+
+use qla_core::{Experiment, ExperimentContext, MachineBuilder};
+use qla_report::{row, Column, Report};
+use qla_sched::{random_toffoli_sites, schedule_toffoli_traffic, Mesh};
+use serde::Serialize;
+
+/// Channel bandwidths the study sweeps (design point first).
+pub const BANDWIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Concurrent Toffoli batch sizes.
+pub const TOFFOLI_COUNTS: [usize; 3] = [4, 16, 48];
+
+/// Logical qubits of the studied chip neighbourhood (a 20×20 tile grid).
+pub const NEIGHBOURHOOD_QUBITS: usize = 400;
+
+/// Windows the scheduler may spill into.
+const WINDOWS_ALLOWED: usize = 4;
+
+/// The greedy EPR-scheduler study.
+pub struct SchedulerUtilization;
+
+/// One (bandwidth, batch size) cell of the study.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerRow {
+    /// Channel bandwidth.
+    pub bandwidth: usize,
+    /// Toffoli gates in the batch.
+    pub toffolis: usize,
+    /// Purified pairs delivered.
+    pub pairs_delivered: usize,
+    /// Error-correction windows used.
+    pub windows_used: usize,
+    /// Aggregate bandwidth utilisation, percent.
+    pub utilization_percent: f64,
+    /// Whether communication fully overlapped with error correction.
+    pub overlaps_with_ecc: bool,
+}
+
+/// Typed output of the study.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerOutput {
+    /// One row per (bandwidth, batch size) pair.
+    pub rows: Vec<SchedulerRow>,
+    /// Purified pairs one channel delivers per level-2 EC window (derived
+    /// from the interconnect, not hard-coded).
+    pub pairs_per_window: usize,
+}
+
+impl Experiment for SchedulerUtilization {
+    type Output = SchedulerOutput;
+
+    fn name(&self) -> &'static str {
+        "scheduler-utilization"
+    }
+    fn title(&self) -> &'static str {
+        "Section 5 — greedy EPR scheduler on Toffoli traffic"
+    }
+    fn description(&self) -> &'static str {
+        "Bandwidth utilisation and EC overlap of the greedy scheduler, across bandwidths"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> SchedulerOutput {
+        // The machine supplies the per-window channel capacity, derived from
+        // its interconnect parameters (once a hard-coded 70).
+        let machine = MachineBuilder::new()
+            .logical_qubits(NEIGHBOURHOOD_QUBITS)
+            .build()
+            .expect("paper design point is valid");
+        let pairs_per_window = machine.epr_pairs_per_ecc_window();
+
+        let mut rows = Vec::new();
+        for (i, &bandwidth) in BANDWIDTHS.iter().enumerate() {
+            for (j, &toffolis) in TOFFOLI_COUNTS.iter().enumerate() {
+                let mesh = Mesh::from_floorplan(&machine.floorplan, bandwidth)
+                    .with_pairs_per_window(pairs_per_window);
+                // Every cell draws its workload from an independent derived
+                // seed, so single cells can be re-run (or parallelised)
+                // reproducibly.
+                let mut rng = ctx.rng_for_point((i * TOFFOLI_COUNTS.len() + j) as u64);
+                let sites = random_toffoli_sites(&mesh, toffolis, &mut rng);
+                let report = schedule_toffoli_traffic(&mesh, &sites, WINDOWS_ALLOWED);
+                rows.push(SchedulerRow {
+                    bandwidth,
+                    toffolis,
+                    pairs_delivered: report.result.pairs_delivered(),
+                    windows_used: report.result.windows_used,
+                    utilization_percent: report.utilization_percent(),
+                    overlaps_with_ecc: report.overlaps_with_ecc,
+                });
+            }
+        }
+        SchedulerOutput {
+            rows,
+            pairs_per_window,
+        }
+    }
+
+    fn report(&self, ctx: &ExperimentContext, output: &SchedulerOutput) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title())
+            .with_param("seed", ctx.seed)
+            .with_param("pairs_per_window", output.pairs_per_window)
+            .with_columns([
+                Column::new("bandwidth"),
+                Column::new("toffolis"),
+                Column::new("pairs"),
+                Column::new("windows"),
+                Column::with_unit("utilization", "%"),
+                Column::new("overlaps ECC"),
+            ]);
+        for row in &output.rows {
+            r.push_row(row![
+                row.bandwidth,
+                row.toffolis,
+                row.pairs_delivered,
+                row.windows_used,
+                // Rounded for the table; the typed output keeps full
+                // precision.
+                (row.utilization_percent * 100.0).round() / 100.0,
+                row.overlaps_with_ecc
+            ]);
+        }
+        r.push_note(
+            "paper: the greedy scheduler 'scalably achieves an average of ~23% aggregate \
+             bandwidth utilization' at bandwidth 2, with communication always overlapping \
+             error correction",
+        );
+        r
+    }
+}

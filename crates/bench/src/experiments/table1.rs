@@ -1,0 +1,138 @@
+//! Table 1: operation times and failure probabilities of the trapped-ion
+//! technology (current vs expected).
+
+use qla_core::{Experiment, ExperimentContext};
+use qla_physical::{FailureRates, OperationTimes, TechnologyParams};
+use qla_report::{row, Column, Report};
+use serde::Serialize;
+
+/// The Table 1 technology-parameter experiment (deterministic).
+pub struct Table1;
+
+/// One operation's row: name, time (as the display string of the
+/// heterogeneous-unit `Time`), and the two failure-probability columns
+/// (`None` where the paper gives no probability).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Operation name.
+    pub operation: String,
+    /// Execution time, human-formatted (units vary from ns to s).
+    pub time: String,
+    /// Failure probability at current (2005) technology.
+    pub p_current: Option<f64>,
+    /// Failure probability along the ARDA roadmap.
+    pub p_expected: Option<f64>,
+}
+
+/// Typed output of the table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Output {
+    /// One row per operation.
+    pub rows: Vec<Table1Row>,
+    /// Mean expected component failure rate `p0` (used in Equation 2).
+    pub p0: f64,
+    /// Cell pitch in microns.
+    pub cell_size_um: f64,
+    /// Cell area in square metres.
+    pub cell_area_m2: f64,
+}
+
+impl Experiment for Table1 {
+    type Output = Table1Output;
+
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Table 1 — trapped-ion technology parameters"
+    }
+    fn description(&self) -> &'static str {
+        "Operation times and failure probabilities, current vs expected technology"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> Table1Output {
+        let times = OperationTimes::table1();
+        let current = FailureRates::current();
+        let expected = FailureRates::expected();
+        let rows = vec![
+            Table1Row {
+                operation: "Single gate".into(),
+                time: format!("{}", times.single_gate),
+                p_current: Some(current.single_gate),
+                p_expected: Some(expected.single_gate),
+            },
+            Table1Row {
+                operation: "Double gate".into(),
+                time: format!("{}", times.double_gate),
+                p_current: Some(current.double_gate),
+                p_expected: Some(expected.double_gate),
+            },
+            Table1Row {
+                operation: "Measure".into(),
+                time: format!("{}", times.measure),
+                p_current: Some(current.measure),
+                p_expected: Some(expected.measure),
+            },
+            Table1Row {
+                operation: "Movement".into(),
+                time: format!("{}/um", times.move_per_um),
+                p_current: Some(current.move_per_um),
+                p_expected: Some(expected.move_per_cell),
+            },
+            Table1Row {
+                operation: "Split".into(),
+                time: format!("{}", times.split),
+                p_current: None,
+                p_expected: None,
+            },
+            Table1Row {
+                operation: "Cooling".into(),
+                time: format!("{}", times.cool),
+                p_current: None,
+                p_expected: None,
+            },
+            Table1Row {
+                operation: "Memory time".into(),
+                time: format!("{}", times.memory_lifetime),
+                p_current: None,
+                p_expected: None,
+            },
+        ];
+        let tech = TechnologyParams::expected();
+        Table1Output {
+            rows,
+            p0: expected.mean_component_rate(),
+            cell_size_um: tech.cell_size_um,
+            cell_area_m2: tech.cell_area_m2(),
+        }
+    }
+
+    fn report(&self, _ctx: &ExperimentContext, output: &Table1Output) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title()).with_columns([
+            Column::new("operation"),
+            Column::new("time"),
+            Column::new("P current"),
+            Column::new("P expected"),
+        ]);
+        for row in &output.rows {
+            r.push_row(row![
+                row.operation.clone(),
+                row.time.clone(),
+                row.p_current,
+                row.p_expected
+            ]);
+        }
+        r.push_note(format!(
+            "mean expected component failure rate p0 = {:.3e} (used in Eq. 2)",
+            output.p0
+        ));
+        r.push_note(format!(
+            "cell pitch {} um -> cell area {:.1e} m^2",
+            output.cell_size_um, output.cell_area_m2
+        ));
+        r
+    }
+}

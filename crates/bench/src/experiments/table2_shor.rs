@@ -1,0 +1,81 @@
+//! Table 2: system numbers for Shor's algorithm on the QLA, side by side
+//! with the paper's published values.
+
+use qla_core::{Experiment, ExperimentContext};
+use qla_report::{row, Column, Report};
+use qla_shor::{ShorEstimator, ShorResources, AVERAGE_REPETITIONS, PAPER_TABLE2};
+use serde::Serialize;
+
+/// The Table 2 Shor resource experiment (deterministic).
+pub struct Table2Shor;
+
+/// Typed output: our estimates for the paper's four problem sizes (the
+/// published rows ship with `qla_shor::PAPER_TABLE2`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Output {
+    /// One estimate per problem size in [`PAPER_TABLE2`].
+    pub ours: Vec<ShorResources>,
+}
+
+impl Experiment for Table2Shor {
+    type Output = Table2Output;
+
+    fn name(&self) -> &'static str {
+        "table2-shor"
+    }
+    fn title(&self) -> &'static str {
+        "Table 2 — Shor's algorithm on the QLA (ours vs paper)"
+    }
+    fn description(&self) -> &'static str {
+        "Qubits, gates, area and run time for factoring 128..2048-bit numbers"
+    }
+    fn default_trials(&self) -> usize {
+        1
+    }
+
+    fn run(&self, _ctx: &ExperimentContext) -> Table2Output {
+        let estimator = ShorEstimator::default();
+        Table2Output {
+            ours: PAPER_TABLE2
+                .iter()
+                .map(|paper| estimator.estimate(paper.bits))
+                .collect(),
+        }
+    }
+
+    fn report(&self, _ctx: &ExperimentContext, output: &Table2Output) -> Report {
+        let mut r = Report::new(Experiment::name(self), self.title()).with_columns([
+            Column::with_unit("N", "bits"),
+            Column::new("qubits"),
+            Column::new("qubits (paper)"),
+            Column::new("Toffoli"),
+            Column::new("Toffoli (paper)"),
+            Column::new("total gates"),
+            Column::new("total gates (paper)"),
+            Column::with_unit("area", "m^2"),
+            Column::with_unit("area (paper)", "m^2"),
+            Column::new("days"),
+            Column::new("days (paper)"),
+        ]);
+        for (ours, paper) in output.ours.iter().zip(PAPER_TABLE2.iter()) {
+            r.push_row(row![
+                ours.bits,
+                ours.logical_qubits,
+                paper.logical_qubits,
+                ours.toffoli_gates,
+                paper.toffoli_gates,
+                ours.total_gates,
+                paper.total_gates,
+                ours.area_m2,
+                paper.area_m2,
+                ours.days(),
+                paper.days
+            ]);
+        }
+        r.push_note(format!(
+            "run times use the paper's level-2 EC step of 0.043 s and {AVERAGE_REPETITIONS} \
+             average repetitions"
+        ));
+        r
+    }
+}

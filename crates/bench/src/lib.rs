@@ -1,23 +1,38 @@
 //! Benchmark and experiment harness for the QLA reproduction.
 //!
-//! Every table and figure of the paper's evaluation has a regeneration
-//! binary in `src/bin/` (run with `cargo run -p qla-bench --bin <name>`):
+//! Every table and figure of the paper's evaluation is a registered
+//! [`Experiment`](qla_core::Experiment) (see [`registry`]) producing a typed
+//! [`Report`](qla_report::Report), driven by the single `qla-bench` CLI:
 //!
-//! | binary | paper artefact |
+//! ```text
+//! cargo run --release -p qla-bench -- list
+//! cargo run --release -p qla-bench -- run fig7-threshold --trials 5000 --format json
+//! cargo run --release -p qla-bench -- run-all --format csv --out-dir reports
+//! ```
+//!
+//! | experiment | paper artefact |
 //! |---|---|
 //! | `table1` | Table 1 — technology parameters |
-//! | `channel_bandwidth` | §2.1 — ballistic channel latency/bandwidth |
-//! | `ecc_latency` | §4.1.1 — error-correction step latency (Eq. 1) |
-//! | `recursion_analysis` | §4.1.2 — Eq. 2 system-size analysis |
-//! | `fig7_threshold` | Figure 7 — logical failure vs component failure |
-//! | `fig9_connection` | Figure 9 — island separation vs connection time |
-//! | `scheduler_utilization` | §5 — EPR scheduler bandwidth utilisation |
-//! | `table2_shor` | Table 2 — Shor system numbers |
-//! | `factor128_walkthrough` | §5 — the 128-bit factorisation walk-through |
+//! | `channel-bandwidth` | §2.1 — ballistic channel latency/bandwidth |
+//! | `ecc-latency` | §4.1.1 — error-correction step latency (Eq. 1) |
+//! | `recursion-analysis` | §4.1.2 — Eq. 2 system-size analysis |
+//! | `fig7-threshold` | Figure 7 — logical failure vs component failure |
+//! | `fig9-connection` | Figure 9 — island separation vs connection time |
+//! | `scheduler-utilization` | §5 — EPR scheduler bandwidth utilisation |
+//! | `table2-shor` | Table 2 — Shor system numbers |
+//! | `factor128-walkthrough` | §5 — the 128-bit factorisation walk-through |
 //!
-//! The Criterion benches in `benches/` measure the performance of the
-//! simulator substrate itself (tableau updates, Monte-Carlo trials,
-//! connection planning, scheduling, resource estimation).
+//! The historical per-artefact binaries in `src/bin/` still exist as thin
+//! shims over the same registry (`cargo run -p qla-bench --bin
+//! fig7_threshold` keeps working), and the Criterion benches in `benches/`
+//! measure the performance of the simulator substrate itself.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cli;
+pub mod experiments;
+pub mod registry;
 
 /// Format a floating-point number for table output: plain decimal in a
 /// readable range, scientific notation outside it.

@@ -1,0 +1,93 @@
+//! `qla-bench` — the one CLI driver for every paper artefact.
+//!
+//! ```text
+//! qla-bench list
+//! qla-bench run <experiment> [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run-all          [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+//! ```
+//!
+//! Every experiment is resolved through `qla_bench::registry`; rendering
+//! goes through the typed `qla_report::Report` model, so `--format json`
+//! emits the same machine-readable document CI archives as a build
+//! artefact.
+
+use qla_bench::cli::{self, CliArgs};
+use qla_bench::registry;
+
+const USAGE: &str = "usage:
+  qla-bench list
+  qla-bench run <experiment> [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run-all          [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+
+run `qla-bench list` to see the registered experiments.";
+
+fn main() {
+    let args = match CliArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(message) => fail(&message),
+    };
+    match args.positional.first().map(String::as_str) {
+        Some("list") => {
+            expect_positionals(&args, 1);
+            list();
+        }
+        Some("run") => {
+            let Some(name) = args.positional.get(1) else {
+                fail("run needs an experiment name; try `qla-bench list`");
+            };
+            expect_positionals(&args, 2);
+            if let Err(message) = cli::run_experiment(name, &args) {
+                fail(&message);
+            }
+        }
+        Some("run-all") => {
+            expect_positionals(&args, 1);
+            run_all(&args);
+        }
+        Some(other) => fail(&format!("unknown command '{other}'\n{USAGE}")),
+        None => fail(USAGE),
+    }
+}
+
+/// Reject trailing positional arguments a subcommand would otherwise
+/// silently ignore (e.g. `run table1 table2-shor` running only `table1`).
+fn expect_positionals(args: &CliArgs, expected: usize) {
+    if args.positional.len() > expected {
+        fail(&format!(
+            "unexpected extra arguments: {}\n{USAGE}",
+            args.positional[expected..].join(" ")
+        ));
+    }
+}
+
+fn list() {
+    println!("registered experiments:\n");
+    for e in registry::registry() {
+        println!("  {:<24} {}", e.name(), e.description());
+        println!(
+            "  {:<24} {} (default trials: {})",
+            "",
+            e.title(),
+            e.default_trials()
+        );
+    }
+    println!("\nrun one with `qla-bench run <name>`, or all with `qla-bench run-all`.");
+}
+
+fn run_all(args: &CliArgs) {
+    let total = registry::registry().len();
+    for (i, experiment) in registry::registry().into_iter().enumerate() {
+        eprintln!("[{}/{total}] {}", i + 1, experiment.name());
+        let ctx = args.context(experiment.default_trials());
+        let report = experiment.run_report(&ctx);
+        if let Err(message) = cli::emit(&report, args) {
+            fail(&message);
+        }
+        println!();
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}

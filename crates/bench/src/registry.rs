@@ -1,0 +1,78 @@
+//! The experiment registry: every paper artefact, discoverable by name.
+//!
+//! The `qla-bench` CLI (and the legacy shim binaries) resolve experiments
+//! exclusively through this registry, so registering an experiment here is
+//! the one step that makes a new analysis runnable, listable, and part of
+//! `run-all`.
+
+use crate::experiments::{
+    ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
+    RecursionAnalysis, SchedulerUtilization, Table1, Table2Shor,
+};
+use qla_core::DynExperiment;
+
+/// Every registered experiment, in the order the paper presents the
+/// artefacts.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn DynExperiment>> {
+    vec![
+        Box::new(Table1),
+        Box::new(ChannelBandwidth),
+        Box::new(EccLatency),
+        Box::new(RecursionAnalysis),
+        Box::new(Fig7Threshold),
+        Box::new(Fig9Connection),
+        Box::new(SchedulerUtilization),
+        Box::new(Table2Shor),
+        Box::new(Factor128Walkthrough),
+    ]
+}
+
+/// The registered experiment names, in registry order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    registry().iter().map(|e| e.name()).collect()
+}
+
+/// Look up one experiment by its registry name.
+#[must_use]
+pub fn find(name: &str) -> Option<Box<dyn DynExperiment>> {
+    registry().into_iter().find(|e| e.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_eight_experiments_are_registered() {
+        assert!(registry().len() >= 8, "registry: {:?}", names());
+    }
+
+    #[test]
+    fn names_are_unique_kebab_case_and_resolvable() {
+        let names = names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate registry names");
+        for name in names {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "name '{name}' is not kebab-case"
+            );
+            assert_eq!(find(name).unwrap().name(), name);
+        }
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_entry_has_title_description_and_positive_trials() {
+        for e in registry() {
+            assert!(!e.title().is_empty(), "{}", e.name());
+            assert!(!e.description().is_empty(), "{}", e.name());
+            assert!(e.default_trials() > 0, "{}", e.name());
+        }
+    }
+}

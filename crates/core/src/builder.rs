@@ -1,0 +1,281 @@
+//! Fluent, validating construction of [`QlaMachine`]s.
+//!
+//! The machine used to be assembled by poking fields on [`MachineConfig`]
+//! and [`QlaMachine`] directly, which let inconsistent design points through
+//! silently — most notably a `recursion_level` the configured
+//! [`EccLatencies`] carry no constant for, which every schedule and run-time
+//! estimate would then mis-pace. [`MachineBuilder`] checks those invariants
+//! once, at construction, so everything downstream can rely on them.
+
+use crate::machine::{MachineConfig, QlaMachine};
+use qla_layout::Floorplan;
+use qla_network::InterconnectParams;
+use qla_physical::TechnologyParams;
+use qla_qec::{EccLatencies, EccLatencyModel};
+
+/// Why a [`MachineBuilder`] refused to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineBuildError {
+    /// A machine needs at least one logical qubit.
+    NoLogicalQubits,
+    /// Channel bandwidth must be at least one physical channel per direction.
+    ZeroBandwidth,
+    /// The requested recursion level has no error-correction latency
+    /// constant in the configured [`EccLatencies`] (levels above
+    /// [`EccLatencies::MAX_LEVEL`]), or is zero (an unencoded machine has no
+    /// error-correction cadence to schedule against).
+    UnsupportedRecursionLevel {
+        /// The level that was requested.
+        requested: u32,
+        /// The highest level the configured latencies cover.
+        max_supported: u32,
+    },
+}
+
+impl core::fmt::Display for MachineBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineBuildError::NoLogicalQubits => {
+                write!(f, "a QLA machine needs at least one logical qubit")
+            }
+            MachineBuildError::ZeroBandwidth => {
+                write!(f, "channel bandwidth must be at least 1")
+            }
+            MachineBuildError::UnsupportedRecursionLevel {
+                requested,
+                max_supported,
+            } => write!(
+                f,
+                "recursion level {requested} is outside the supported range \
+                 1..={max_supported}: the configured ECC latencies carry no \
+                 constant for it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineBuildError {}
+
+/// Fluent builder for [`QlaMachine`].
+///
+/// Defaults to the paper's design point: expected technology, recursion
+/// level 2, the published ECC latency constants, bandwidth 2, and the
+/// Figure 9 interconnect calibration.
+///
+/// ```
+/// use qla_core::MachineBuilder;
+///
+/// let machine = MachineBuilder::new()
+///     .logical_qubits(100)
+///     .bandwidth(4)
+///     .build()
+///     .expect("valid design point");
+/// assert!(machine.logical_qubits() >= 100);
+/// assert_eq!(machine.config.bandwidth, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    logical_qubits: usize,
+    tech: TechnologyParams,
+    recursion_level: u32,
+    ecc: Option<EccLatencies>,
+    structural_ecc: bool,
+    bandwidth: usize,
+    interconnect: Option<InterconnectParams>,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder::new()
+    }
+}
+
+impl MachineBuilder {
+    /// A builder at the paper's design point with a single logical qubit.
+    #[must_use]
+    pub fn new() -> Self {
+        MachineBuilder {
+            logical_qubits: 1,
+            tech: TechnologyParams::expected(),
+            recursion_level: 2,
+            ecc: None,
+            structural_ecc: false,
+            bandwidth: 2,
+            interconnect: None,
+        }
+    }
+
+    /// Minimum number of logical qubit sites the floorplan must provide.
+    #[must_use]
+    pub fn logical_qubits(mut self, count: usize) -> Self {
+        self.logical_qubits = count;
+        self
+    }
+
+    /// Physical technology parameters (Table 1 column).
+    #[must_use]
+    pub fn tech(mut self, tech: TechnologyParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Recursion level of the logical qubits (validated against the ECC
+    /// latencies at [`Self::build`]).
+    #[must_use]
+    pub fn recursion_level(mut self, level: u32) -> Self {
+        self.recursion_level = level;
+        self
+    }
+
+    /// Explicit error-correction step latencies. Defaults to the paper's
+    /// published constants.
+    #[must_use]
+    pub fn ecc_latencies(mut self, ecc: EccLatencies) -> Self {
+        self.ecc = Some(ecc);
+        self.structural_ecc = false;
+        self
+    }
+
+    /// Derive the error-correction latencies from the structural Equation 1
+    /// model of the configured technology instead of the published
+    /// constants.
+    #[must_use]
+    pub fn structural_ecc_latencies(mut self) -> Self {
+        self.ecc = None;
+        self.structural_ecc = true;
+        self
+    }
+
+    /// Channel bandwidth (physical channels per direction).
+    #[must_use]
+    pub fn bandwidth(mut self, bandwidth: usize) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+
+    /// Teleportation-interconnect parameters. Defaults to the Figure 9
+    /// calibration, with its technology kept in lock-step with
+    /// [`Self::tech`].
+    #[must_use]
+    pub fn interconnect(mut self, interconnect: InterconnectParams) -> Self {
+        self.interconnect = Some(interconnect);
+        self
+    }
+
+    /// Validate the design point and assemble the machine.
+    ///
+    /// # Errors
+    /// Returns a [`MachineBuildError`] when the design point is
+    /// inconsistent: zero qubits or bandwidth, or a recursion level the
+    /// configured ECC latencies cannot pace.
+    pub fn build(self) -> Result<QlaMachine, MachineBuildError> {
+        if self.logical_qubits == 0 {
+            return Err(MachineBuildError::NoLogicalQubits);
+        }
+        if self.bandwidth == 0 {
+            return Err(MachineBuildError::ZeroBandwidth);
+        }
+        let ecc = if self.structural_ecc {
+            EccLatencies::from_model(&EccLatencyModel {
+                tech: self.tech,
+                shape: qla_qec::ScheduleShape::default(),
+            })
+        } else {
+            self.ecc.unwrap_or_else(EccLatencies::paper)
+        };
+        if self.recursion_level == 0 || ecc.window_for_level(self.recursion_level).is_none() {
+            return Err(MachineBuildError::UnsupportedRecursionLevel {
+                requested: self.recursion_level,
+                max_supported: EccLatencies::MAX_LEVEL,
+            });
+        }
+        let interconnect = self.interconnect.unwrap_or_else(|| InterconnectParams {
+            tech: self.tech,
+            ..InterconnectParams::paper_calibrated()
+        });
+        Ok(QlaMachine {
+            config: MachineConfig {
+                tech: self.tech,
+                recursion_level: self.recursion_level,
+                ecc,
+                bandwidth: self.bandwidth,
+            },
+            floorplan: Floorplan::for_qubit_count(self.logical_qubits),
+            interconnect,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_matches_the_legacy_constructor() {
+        let built = MachineBuilder::new().logical_qubits(100).build().unwrap();
+        let legacy = QlaMachine::with_logical_qubits(100);
+        assert_eq!(built, legacy);
+    }
+
+    #[test]
+    fn fluent_overrides_land_in_the_config() {
+        let m = MachineBuilder::new()
+            .logical_qubits(16)
+            .tech(TechnologyParams::current())
+            .recursion_level(1)
+            .bandwidth(8)
+            .build()
+            .unwrap();
+        assert_eq!(m.config.tech, TechnologyParams::current());
+        assert_eq!(m.config.recursion_level, 1);
+        assert_eq!(m.config.bandwidth, 8);
+        assert_eq!(m.interconnect.tech, TechnologyParams::current());
+        assert_eq!(m.ecc_window(), m.config.ecc.level1);
+    }
+
+    #[test]
+    fn structural_latencies_can_replace_the_published_constants() {
+        let m = MachineBuilder::new()
+            .logical_qubits(10)
+            .structural_ecc_latencies()
+            .build()
+            .unwrap();
+        assert_ne!(m.config.ecc, EccLatencies::paper());
+        assert_eq!(m.config.ecc, m.structural_ecc_latencies());
+    }
+
+    #[test]
+    fn invalid_design_points_are_rejected() {
+        assert_eq!(
+            MachineBuilder::new().logical_qubits(0).build().unwrap_err(),
+            MachineBuildError::NoLogicalQubits
+        );
+        assert_eq!(
+            MachineBuilder::new().bandwidth(0).build().unwrap_err(),
+            MachineBuildError::ZeroBandwidth
+        );
+        for level in [0u32, 3, 9] {
+            assert_eq!(
+                MachineBuilder::new()
+                    .recursion_level(level)
+                    .build()
+                    .unwrap_err(),
+                MachineBuildError::UnsupportedRecursionLevel {
+                    requested: level,
+                    max_supported: EccLatencies::MAX_LEVEL,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn build_errors_have_readable_messages() {
+        let err = MachineBuilder::new()
+            .recursion_level(3)
+            .build()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("recursion level 3"), "{msg}");
+        assert!(msg.contains("1..=2"), "{msg}");
+    }
+}

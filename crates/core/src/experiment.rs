@@ -1,0 +1,282 @@
+//! The unified experiment API: one trait, one context, one runner for every
+//! paper artefact.
+//!
+//! Every evaluation in the reproduction — Figure 7's Monte-Carlo threshold
+//! sweep, Figure 9's connection-time table, Table 2's Shor numbers — is an
+//! [`Experiment`]: a typed computation from an [`ExperimentContext`] (trial
+//! budget and seed) to a serializable `Output`, plus a projection of that
+//! output into a [`Report`] for rendering. The [`Runner`] executes
+//! experiments and sweeps deterministically: every sweep point gets an
+//! independent seed derived from the context seed with a SplitMix64 mix, so
+//! points can later be evaluated in parallel (or re-evaluated singly) and
+//! still produce bit-identical results — without any shared RNG state and
+//! without a rayon dependency.
+
+use qla_report::Report;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Shared run parameters every experiment receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentContext {
+    /// Monte-Carlo trial budget (per data point, for experiments that
+    /// sample; deterministic experiments ignore it).
+    pub trials: usize,
+    /// Master seed. All randomness in an experiment must derive from this
+    /// (directly or through [`Self::derived_seed`] /
+    /// [`Self::rng_for_point`]).
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// A context with the given trial budget and seed.
+    #[must_use]
+    pub fn new(trials: usize, seed: u64) -> Self {
+        ExperimentContext { trials, seed }
+    }
+
+    /// An independent seed for sweep point `index`, derived with the
+    /// SplitMix64 finalizer. Deterministic in `(seed, index)` and
+    /// well-distributed even for consecutive indices, which is what makes
+    /// per-point parallel execution safe.
+    #[must_use]
+    pub fn derived_seed(&self, index: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A ChaCha8 generator seeded for sweep point `index`.
+    #[must_use]
+    pub fn rng_for_point(&self, index: u64) -> ChaCha8Rng {
+        use rand::SeedableRng;
+        ChaCha8Rng::seed_from_u64(self.derived_seed(index))
+    }
+
+    /// This context with a different trial budget.
+    #[must_use]
+    pub fn with_trials(self, trials: usize) -> Self {
+        ExperimentContext { trials, ..self }
+    }
+}
+
+/// A reproducible evaluation producing one typed output and one [`Report`].
+///
+/// Implementations are ~30 lines: run the underlying model, then project
+/// the typed output into a report. The `Output` type carries the full
+/// machine-readable result (and must be `Serialize` so it survives the swap
+/// back to registry serde — see `vendor/README.md`); the report is the
+/// canonical rendered view.
+pub trait Experiment {
+    /// The typed result of one run.
+    type Output: Serialize;
+
+    /// Stable registry name (kebab-case, e.g. `"fig7-threshold"`).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable title naming the paper artefact.
+    fn title(&self) -> &'static str;
+
+    /// One-line description for `qla-bench list`.
+    fn description(&self) -> &'static str;
+
+    /// Trial budget used when the caller does not specify one.
+    fn default_trials(&self) -> usize {
+        10_000
+    }
+
+    /// Execute the experiment.
+    fn run(&self, ctx: &ExperimentContext) -> Self::Output;
+
+    /// Project an output into the canonical report.
+    fn report(&self, ctx: &ExperimentContext, output: &Self::Output) -> Report;
+}
+
+/// Object-safe view of an [`Experiment`], for registries and CLI drivers
+/// that hold heterogeneous experiments behind one pointer type.
+pub trait DynExperiment {
+    /// Stable registry name.
+    fn name(&self) -> &'static str;
+    /// Human-readable title.
+    fn title(&self) -> &'static str;
+    /// One-line description.
+    fn description(&self) -> &'static str;
+    /// Default trial budget.
+    fn default_trials(&self) -> usize;
+    /// Run and project in one step.
+    fn run_report(&self, ctx: &ExperimentContext) -> Report;
+}
+
+impl<E: Experiment> DynExperiment for E {
+    fn name(&self) -> &'static str {
+        Experiment::name(self)
+    }
+    fn title(&self) -> &'static str {
+        Experiment::title(self)
+    }
+    fn description(&self) -> &'static str {
+        Experiment::description(self)
+    }
+    fn default_trials(&self) -> usize {
+        Experiment::default_trials(self)
+    }
+    fn run_report(&self, ctx: &ExperimentContext) -> Report {
+        let output = self.run(ctx);
+        self.report(ctx, &output)
+    }
+}
+
+/// Deterministic executor for experiments and sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    /// The context every execution receives.
+    pub ctx: ExperimentContext,
+}
+
+impl Runner {
+    /// A runner over the given context.
+    #[must_use]
+    pub fn new(ctx: ExperimentContext) -> Self {
+        Runner { ctx }
+    }
+
+    /// Run one experiment, returning its typed output.
+    pub fn run<E: Experiment>(&self, experiment: &E) -> E::Output {
+        experiment.run(&self.ctx)
+    }
+
+    /// Run one experiment and project it into its report.
+    pub fn report<E: Experiment>(&self, experiment: &E) -> Report {
+        let output = experiment.run(&self.ctx);
+        experiment.report(&self.ctx, &output)
+    }
+
+    /// Evaluate `f` over every sweep point with an independently seeded
+    /// context per point.
+    ///
+    /// The per-point contexts carry `derived_seed(i)` as their seed, so the
+    /// result for point `i` depends only on `(ctx, points[i], i)` — never on
+    /// evaluation order. The loop itself is sequential (the workspace is
+    /// rayon-free by policy), but a future parallel map over the same
+    /// derived contexts is guaranteed to produce the same results.
+    pub fn sweep<P, R>(
+        &self,
+        points: &[P],
+        mut f: impl FnMut(&ExperimentContext, &P) -> R,
+    ) -> Vec<R> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let point_ctx = ExperimentContext {
+                    trials: self.ctx.trials,
+                    seed: self.ctx.derived_seed(i as u64),
+                };
+                f(&point_ctx, p)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qla_report::{Column, Report};
+    use serde::Serialize;
+
+    /// A toy experiment: mean of `trials` uniform draws per point.
+    struct MeanDraw;
+
+    #[derive(Serialize)]
+    struct MeanOutput {
+        means: Vec<f64>,
+    }
+
+    impl Experiment for MeanDraw {
+        type Output = MeanOutput;
+
+        fn name(&self) -> &'static str {
+            "mean-draw"
+        }
+        fn title(&self) -> &'static str {
+            "Mean draw"
+        }
+        fn description(&self) -> &'static str {
+            "toy"
+        }
+        fn default_trials(&self) -> usize {
+            32
+        }
+
+        fn run(&self, ctx: &ExperimentContext) -> MeanOutput {
+            use rand::Rng;
+            let runner = Runner::new(*ctx);
+            let means = runner.sweep(&[0u8, 1, 2], |point_ctx, _| {
+                let mut rng = point_ctx.rng_for_point(0);
+                let sum: f64 = (0..point_ctx.trials).map(|_| rng.random::<f64>()).sum();
+                sum / point_ctx.trials as f64
+            });
+            MeanOutput { means }
+        }
+
+        fn report(&self, ctx: &ExperimentContext, output: &MeanOutput) -> Report {
+            let mut r = Report::new(Experiment::name(self), Experiment::title(self))
+                .with_param("trials", ctx.trials)
+                .with_param("seed", ctx.seed)
+                .with_column(Column::new("mean"));
+            for m in &output.means {
+                r.push_row(qla_report::row![*m]);
+            }
+            r
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_deterministic() {
+        let ctx = ExperimentContext::new(10, 42);
+        let seeds: Vec<u64> = (0..100).map(|i| ctx.derived_seed(i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "collision among derived seeds");
+        assert_eq!(
+            ctx.derived_seed(7),
+            ExperimentContext::new(99, 42).derived_seed(7)
+        );
+        assert_ne!(
+            ctx.derived_seed(7),
+            ExperimentContext::new(10, 43).derived_seed(7)
+        );
+    }
+
+    #[test]
+    fn sweep_results_do_not_depend_on_evaluation_order() {
+        let runner = Runner::new(ExperimentContext::new(64, 7));
+        let forward = runner.sweep(&[0, 1, 2, 3], |ctx, _| ctx.seed);
+        // Re-evaluating a single point reproduces its slot exactly.
+        let third = runner.sweep(&[0, 0, 2], |ctx, _| ctx.seed)[2];
+        assert_eq!(third, forward[2]);
+        assert_eq!(forward.len(), 4);
+    }
+
+    #[test]
+    fn runner_report_equals_dyn_run_report() {
+        let ctx = ExperimentContext::new(16, 5);
+        let direct = Runner::new(ctx).report(&MeanDraw);
+        let dynamic = (&MeanDraw as &dyn DynExperiment).run_report(&ctx);
+        assert_eq!(direct, dynamic);
+        assert_eq!(direct.rows.len(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_output_different_seed_different_output() {
+        let a = Runner::new(ExperimentContext::new(64, 1)).report(&MeanDraw);
+        let b = Runner::new(ExperimentContext::new(64, 1)).report(&MeanDraw);
+        let c = Runner::new(ExperimentContext::new(64, 2)).report(&MeanDraw);
+        assert_eq!(a, b);
+        assert_ne!(a.rows, c.rows);
+    }
+}

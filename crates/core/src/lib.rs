@@ -9,14 +9,23 @@
 //! * [`machine`] — [`QlaMachine`]: floorplan, error-correction cadence,
 //!   teleportation interconnect and EPR scheduling in one object, used by the
 //!   Shor performance model and the examples.
+//! * [`builder`] — [`MachineBuilder`]: fluent, validating machine
+//!   construction (the supported way to assemble non-default design points).
+//! * [`experiment`] — the unified experiment API: the [`Experiment`] trait,
+//!   the seed-deriving deterministic [`Runner`], and the object-safe
+//!   [`DynExperiment`] view the `qla-bench` registry is built on.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arq;
+pub mod builder;
+pub mod experiment;
 pub mod machine;
 pub mod montecarlo;
 
 pub use arq::{Arq, ArqError, ArqRun};
+pub use builder::{MachineBuildError, MachineBuilder};
+pub use experiment::{DynExperiment, Experiment, ExperimentContext, Runner};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};

@@ -52,6 +52,9 @@ pub struct QlaMachine {
 impl QlaMachine {
     /// Build a machine with capacity for at least `logical_qubits` logical
     /// qubits using the default (paper design-point) configuration.
+    ///
+    /// For any other design point use [`QlaMachine::builder`], which
+    /// validates the configuration before assembling the machine.
     #[must_use]
     pub fn with_logical_qubits(logical_qubits: usize) -> Self {
         QlaMachine {
@@ -59,6 +62,13 @@ impl QlaMachine {
             floorplan: Floorplan::for_qubit_count(logical_qubits),
             interconnect: InterconnectParams::paper_calibrated(),
         }
+    }
+
+    /// A fluent, validating [`MachineBuilder`](crate::MachineBuilder) at the
+    /// paper's design point.
+    #[must_use]
+    pub fn builder() -> crate::MachineBuilder {
+        crate::MachineBuilder::new()
     }
 
     /// Number of logical qubit sites on the chip.
@@ -85,13 +95,28 @@ impl QlaMachine {
     }
 
     /// The level-L error-correction window that paces the whole machine.
+    ///
+    /// # Panics
+    /// Panics if `config.recursion_level` exceeds
+    /// [`qla_qec::EccLatencies::MAX_LEVEL`] — the configured latencies carry
+    /// no constant for such a level, and silently reusing the level-2 value
+    /// (the old behaviour) would mis-pace every schedule built on top.
+    /// Machines assembled through [`QlaMachine::builder`] reject such design
+    /// points at construction; only direct field-poking can reach this
+    /// panic.
     #[must_use]
     pub fn ecc_window(&self) -> Time {
-        if self.config.recursion_level <= 1 {
-            self.config.ecc.level1
-        } else {
-            self.config.ecc.level2
-        }
+        self.config
+            .ecc
+            .window_for_level(self.config.recursion_level)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no ECC latency constant for recursion level {} (max supported: {}); \
+                     build machines through QlaMachine::builder() to catch this at construction",
+                    self.config.recursion_level,
+                    EccLatencies::MAX_LEVEL
+                )
+            })
     }
 
     /// The error-correction latencies derived from the structural model of
@@ -143,17 +168,32 @@ impl QlaMachine {
         plan.total_time.as_secs() <= self.ecc_window().as_secs()
     }
 
+    /// Per-pair service time of this machine's EPR channels: the wall-clock
+    /// cost of one purified pair on a pipelined channel spanning one tile
+    /// pitch, derived from the interconnect parameters (purification rounds
+    /// plus ballistic resupply plus the hand-off swap).
+    #[must_use]
+    pub fn epr_pair_service_time(&self) -> Time {
+        self.interconnect
+            .pair_service_time(self.floorplan.tile.pitch_x_cells())
+    }
+
+    /// Purified EPR pairs one pipelined channel delivers within a single
+    /// error-correction window: the window divided by
+    /// [`Self::epr_pair_service_time`], at least 1.
+    #[must_use]
+    pub fn epr_pairs_per_ecc_window(&self) -> usize {
+        let service = self.epr_pair_service_time().as_micros();
+        (self.ecc_window().as_micros() / service).floor().max(1.0) as usize
+    }
+
     /// Schedule the EPR traffic of a batch of fault-tolerant Toffoli gates on
     /// this machine's mesh and report whether it overlapped with error
     /// correction.
     #[must_use]
     pub fn schedule_toffolis(&self, sites: &[ToffoliSite]) -> ToffoliScheduleReport {
-        // One level-2 EC window divided by the per-pair service time
-        // (~0.6 ms: purification round + transport) bounds the pairs one
-        // pipelined channel delivers per window.
-        let pairs_per_window = (self.ecc_window().as_micros() / 600.0).floor().max(1.0) as usize;
         let mesh = Mesh::from_floorplan(&self.floorplan, self.config.bandwidth)
-            .with_pairs_per_window(pairs_per_window);
+            .with_pairs_per_window(self.epr_pairs_per_ecc_window());
         schedule_toffoli_traffic(&mesh, sites, 1)
     }
 }
@@ -205,6 +245,30 @@ mod tests {
         assert!(m
             .plan_connection(LogicalQubitId(3), LogicalQubitId(3))
             .is_none());
+    }
+
+    #[test]
+    fn epr_service_time_lands_near_the_old_hard_coded_constant() {
+        // The 600 µs magic number `schedule_toffolis` used to hard-code is
+        // now derived from the interconnect; at the paper design point the
+        // derived value must stay in the same band so channel capacity per
+        // window (~70 pairs at the 43 ms level-2 window) is preserved.
+        let m = QlaMachine::with_logical_qubits(100);
+        let service_us = m.epr_pair_service_time().as_micros();
+        assert!(
+            (300.0..1200.0).contains(&service_us),
+            "service time {service_us} µs"
+        );
+        let pairs = m.epr_pairs_per_ecc_window();
+        assert!((35..150).contains(&pairs), "pairs per window: {pairs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no ECC latency constant for recursion level 3")]
+    fn ecc_window_refuses_unsupported_recursion_levels() {
+        let mut m = QlaMachine::with_logical_qubits(10);
+        m.config.recursion_level = 3; // field-poking past the builder's checks
+        let _ = m.ecc_window();
     }
 
     #[test]

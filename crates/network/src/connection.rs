@@ -78,6 +78,42 @@ impl InterconnectParams {
             tech: TechnologyParams::expected(),
         }
     }
+
+    /// Per-pair service time of a pipelined EPR channel whose endpoints sit
+    /// `separation_cells` apart: the wall-clock cost of producing one
+    /// *purified, delivered* pair once the pipeline is full.
+    ///
+    /// Each purification round of the Bennett protocol costs a bilateral
+    /// CNOT (two two-qubit gates), the measurement of both sacrificial
+    /// halves, and the ballistic resupply of the sacrificial pair (a chain
+    /// split plus half-separation transport); the delivered pair is then
+    /// handed to its consumer through one swap/teleport stage. The number of
+    /// rounds is whatever it takes to purify the raw delivered fidelity up
+    /// to the interconnect's end-to-end budget for a single segment.
+    ///
+    /// At the paper-calibrated design point and tile-pitch separations this
+    /// evaluates to ≈0.6 ms — the constant `QlaMachine::schedule_toffolis`
+    /// used to hard-code — but it now moves with the technology parameters
+    /// and fidelity budget. If the budget is unreachable at this separation,
+    /// the cost saturates at [`Self::SERVICE_ROUNDS_CAP`] rounds, modelling
+    /// a channel that purifies as far as its ceiling allows.
+    #[must_use]
+    pub fn pair_service_time(&self, separation_cells: usize) -> Time {
+        let d = separation_cells.max(1);
+        let delivered = self.epr_source.delivered_pair(d);
+        let target = 1.0 - self.max_final_infidelity;
+        let rounds = self
+            .purification
+            .rounds_to_reach(delivered, target)
+            .map_or(Self::SERVICE_ROUNDS_CAP, |plan| plan.rounds);
+        let round_ops = self.tech.times.double_gate * 2 + self.tech.times.measure * 2;
+        let resupply = self.tech.times.split + self.tech.times.move_per_cell * (d / 2);
+        (round_ops + resupply) * rounds.max(1) + self.swap_stage_time
+    }
+
+    /// Round cap applied by [`Self::pair_service_time`] when the fidelity
+    /// budget is unreachable at the requested separation.
+    pub const SERVICE_ROUNDS_CAP: usize = 16;
 }
 
 /// A planned end-to-end connection.
@@ -358,6 +394,27 @@ mod tests {
         harsh.epr_source.per_cell_error = 5e-4;
         let err = plan_connection(&harsh, 10_000, 3_000).unwrap_err();
         assert_eq!(err, ConnectionError::RawPairsNotPurifiable);
+    }
+
+    #[test]
+    fn pair_service_time_sits_near_the_historical_constant_at_tile_pitch() {
+        // `QlaMachine::schedule_toffolis` used to hard-code 600 µs per pair;
+        // the derived value at tile-pitch separations must land in the same
+        // band so the scheduler's pairs-per-window capacity stays faithful.
+        let p = params();
+        let t = p.pair_service_time(48);
+        assert!(
+            (300.0..1200.0).contains(&t.as_micros()),
+            "service time {} µs drifted from the ~600 µs design point",
+            t.as_micros()
+        );
+        // More separation means poorer raw pairs: service time is monotone.
+        assert!(p.pair_service_time(500) >= p.pair_service_time(48));
+        // Unreachable budgets saturate instead of diverging.
+        let mut harsh = p;
+        harsh.epr_source.per_cell_error = 5e-4;
+        let capped = harsh.pair_service_time(3_000);
+        assert!(capped.as_secs() < 1.0);
     }
 
     #[test]

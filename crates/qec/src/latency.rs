@@ -225,6 +225,30 @@ impl EccLatencies {
         }
     }
 
+    /// The highest recursion level these latencies carry a constant for.
+    ///
+    /// The paper publishes (and this struct stores) per-step latencies for
+    /// levels 1 and 2 only; a design point above that needs a new latency
+    /// model before it can be scheduled.
+    pub const MAX_LEVEL: u32 = 2;
+
+    /// The error-correction window that paces a machine whose logical qubits
+    /// are encoded at `level`, if these latencies cover that level.
+    ///
+    /// Level 0 (bare physical qubits) and level 1 are both paced by the
+    /// level-1 step; level 2 by the level-2 step. Levels above
+    /// [`Self::MAX_LEVEL`] return `None` — there is no published constant to
+    /// fall back on, and silently reusing the level-2 value would
+    /// underestimate every higher-level schedule.
+    #[must_use]
+    pub fn window_for_level(&self, level: u32) -> Option<Time> {
+        match level {
+            0 | 1 => Some(self.level1),
+            2 => Some(self.level2),
+            _ => None,
+        }
+    }
+
     /// Latencies computed from the structural model with the given
     /// technology.
     #[must_use]
@@ -240,6 +264,16 @@ impl EccLatencies {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn windows_cover_levels_up_to_max_and_refuse_beyond() {
+        let lat = EccLatencies::paper();
+        assert_eq!(lat.window_for_level(0), Some(lat.level1));
+        assert_eq!(lat.window_for_level(1), Some(lat.level1));
+        assert_eq!(lat.window_for_level(2), Some(lat.level2));
+        assert_eq!(lat.window_for_level(EccLatencies::MAX_LEVEL + 1), None);
+        assert_eq!(lat.window_for_level(7), None);
+    }
 
     #[test]
     fn level0_costs_are_bare_physical_ops() {

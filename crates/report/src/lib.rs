@@ -1,0 +1,30 @@
+//! Typed reports for the QLA evaluation — the one canonical output model
+//! behind every paper artefact.
+//!
+//! Historically each `qla-bench` binary hand-rolled its own `println!`
+//! table, which made the artefacts impossible to consume programmatically
+//! (no sweeps, no diffing design points, no machine-readable CI artefacts).
+//! This crate replaces that with a single [`Report`] value — named, typed
+//! columns with units, rows of [`Value`] cells, free-form notes — and three
+//! deterministic renderers selected by [`Format`]:
+//!
+//! * **text** — an aligned human-readable table (what the binaries print);
+//! * **json** — a fixed-key-order, byte-stable JSON document for tooling;
+//! * **csv** — a flat table for spreadsheets and plotting scripts.
+//!
+//! The JSON renderer is hand-rolled rather than serde-based on purpose: the
+//! workspace's vendored `serde` is a structural stand-in without
+//! serialization machinery (see `vendor/README.md`), and the renderer's
+//! fixed key order plus shortest-round-trip float formatting are exactly
+//! what the golden tests need to pin outputs byte-for-byte.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod render;
+pub mod report;
+pub mod value;
+
+pub use render::{render_csv, render_json, render_text};
+pub use report::{Column, Format, FormatParseError, Report};
+pub use value::Value;

@@ -1,0 +1,215 @@
+//! The three renderers: aligned text, pretty JSON, RFC-4180-style CSV.
+//!
+//! All three are deterministic functions of the [`Report`] value — the same
+//! report renders to the same bytes on every run and platform, which is what
+//! lets the golden tests in `qla-bench` pin exact outputs.
+
+use crate::report::Report;
+use crate::value::{json_escape, Value};
+
+/// Render the report as a human-readable aligned table.
+#[must_use]
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&report.title);
+    out.push('\n');
+    if !report.params.is_empty() {
+        let params: Vec<String> = report
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render_text()))
+            .collect();
+        out.push_str(&format!("[{}]\n", params.join(", ")));
+    }
+    out.push('\n');
+
+    // Header cells: "name" or "name (unit)".
+    let headers: Vec<String> = report.columns.iter().map(|c| c.header()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    let rendered_rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|row| row.iter().map(Value::render_text).collect())
+        .collect();
+    for row in &rendered_rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    let format_line = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| format!("{cell:>w$}"))
+            .collect();
+        padded.join("  ").trim_end().to_string()
+    };
+    out.push_str(&format_line(&headers));
+    out.push('\n');
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format_line(&rule));
+    out.push('\n');
+    for row in &rendered_rows {
+        out.push_str(&format_line(row));
+        out.push('\n');
+    }
+
+    if !report.notes.is_empty() {
+        out.push('\n');
+        for note in &report.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+    }
+    out
+}
+
+/// Render the report as pretty-printed JSON with a fixed key order
+/// (`name`, `title`, `params`, `columns`, `rows`, `notes`).
+#[must_use]
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"name\": {},\n", json_escape(&report.name)));
+    out.push_str(&format!("  \"title\": {},\n", json_escape(&report.title)));
+
+    out.push_str("  \"params\": {");
+    let params: Vec<String> = report
+        .params
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_escape(k), v.render_json()))
+        .collect();
+    out.push_str(&params.join(", "));
+    out.push_str("},\n");
+
+    out.push_str("  \"columns\": [");
+    let columns: Vec<String> = report
+        .columns
+        .iter()
+        .map(|c| {
+            let unit = c.unit.as_deref().map_or("null".to_string(), json_escape);
+            format!("{{\"name\": {}, \"unit\": {unit}}}", json_escape(&c.name))
+        })
+        .collect();
+    out.push_str(&columns.join(", "));
+    out.push_str("],\n");
+
+    out.push_str("  \"rows\": [");
+    if !report.rows.is_empty() {
+        out.push('\n');
+        let rows: Vec<String> = report
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(Value::render_json).collect();
+                format!("    [{}]", cells.join(", "))
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"notes\": [");
+    if !report.notes.is_empty() {
+        out.push('\n');
+        let notes: Vec<String> = report
+            .notes
+            .iter()
+            .map(|n| format!("    {}", json_escape(n)))
+            .collect();
+        out.push_str(&notes.join(",\n"));
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Render the report as CSV: one header row (`name (unit)` per column),
+/// then the data rows. Notes and params are not part of the CSV surface —
+/// they live in the JSON/text renderings.
+#[must_use]
+pub fn render_csv(report: &Report) -> String {
+    let mut out = String::new();
+    let headers: Vec<String> = report
+        .columns
+        .iter()
+        .map(|c| csv_escape(&c.header()))
+        .collect();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in &report.rows {
+        let cells: Vec<String> = row.iter().map(|v| csv_escape(&v.render_text())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Quote a CSV field when it contains a delimiter, quote, or newline.
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Column, Report};
+
+    fn sample() -> Report {
+        let mut r = Report::new("sample", "Sample — a test artefact")
+            .with_param("trials", 10usize)
+            .with_param("seed", 7u64)
+            .with_column(Column::new("level"))
+            .with_column(Column::with_unit("latency", "ms"));
+        r.push_row(crate::row![1u32, 3.5]);
+        r.push_row(crate::row![2u32, Option::<f64>::None]);
+        r.push_note("a note with a \"quote\"");
+        r
+    }
+
+    #[test]
+    fn text_table_is_aligned_and_complete() {
+        let text = crate::render_text(&sample());
+        assert!(text.starts_with("Sample — a test artefact\n"));
+        assert!(text.contains("[trials=10, seed=7]"));
+        assert!(text.contains("latency (ms)"));
+        assert!(text.contains("note: a note"));
+        // Data rows align under the header.
+        let lines: Vec<&str> = text.lines().collect();
+        let header = lines.iter().position(|l| l.contains("level")).unwrap();
+        assert_eq!(lines[header].len(), lines[header + 1].len());
+    }
+
+    #[test]
+    fn json_has_fixed_key_order_and_null_holes() {
+        let json = crate::render_json(&sample());
+        let name_at = json.find("\"name\"").unwrap();
+        let rows_at = json.find("\"rows\"").unwrap();
+        let notes_at = json.find("\"notes\"").unwrap();
+        assert!(name_at < rows_at && rows_at < notes_at);
+        assert!(json.contains("[2, null]"));
+        assert!(json.contains("\\\"quote\\\""));
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let csv = crate::render_csv(&sample());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "level,latency (ms)");
+        assert_eq!(lines.next().unwrap(), "1,3.5");
+        assert_eq!(lines.next().unwrap(), "2,-");
+    }
+
+    #[test]
+    fn empty_report_renders_in_every_format() {
+        let r = Report::new("empty", "Empty");
+        assert!(crate::render_text(&r).contains("Empty"));
+        assert!(crate::render_json(&r).contains("\"rows\": []"));
+        assert_eq!(crate::render_csv(&r), "\n");
+    }
+}

@@ -1,0 +1,234 @@
+//! The [`Report`] model: a titled, parameterised table with typed columns.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One named column of a report, with an optional unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (e.g. `"physical p"`).
+    pub name: String,
+    /// Unit the cells are expressed in (e.g. `"ms"`), if any.
+    pub unit: Option<String>,
+}
+
+impl Column {
+    /// A unitless column.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            unit: None,
+        }
+    }
+
+    /// A column with a unit.
+    #[must_use]
+    pub fn with_unit(name: impl Into<String>, unit: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            unit: Some(unit.into()),
+        }
+    }
+
+    /// The header cell: `name` or `name (unit)`.
+    #[must_use]
+    pub fn header(&self) -> String {
+        match &self.unit {
+            Some(unit) => format!("{} ({unit})", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A typed experiment result: the canonical output of every registered
+/// experiment, renderable as text, JSON, or CSV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Stable machine-readable identifier (the registry name, kebab-case).
+    pub name: String,
+    /// Human-readable title naming the paper artefact.
+    pub title: String,
+    /// Named run parameters (trials, seed, design-point knobs), in insertion
+    /// order.
+    pub params: Vec<(String, Value)>,
+    /// Table columns.
+    pub columns: Vec<Column>,
+    /// Table rows; every row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<Value>>,
+    /// Free-form observations (paper comparisons, crossover locations, …).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// An empty report with the given registry name and title.
+    #[must_use]
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            params: Vec::new(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a named parameter (builder style).
+    #[must_use]
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Append a column (builder style).
+    #[must_use]
+    pub fn with_column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Append several columns at once (builder style).
+    #[must_use]
+    pub fn with_columns(mut self, columns: impl IntoIterator<Item = Column>) -> Self {
+        self.columns.extend(columns);
+        self
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    /// Panics if the row's arity does not match the column count — a
+    /// programming error in the experiment, caught loudly rather than
+    /// rendered misaligned.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "report '{}': row has {} cells but {} columns are declared",
+            self.name,
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render in the requested format.
+    #[must_use]
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Text => crate::render::render_text(self),
+            Format::Json => crate::render::render_json(self),
+            Format::Csv => crate::render::render_csv(self),
+        }
+    }
+}
+
+/// Output format selector for [`Report::render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Format {
+    /// Aligned human-readable table.
+    Text,
+    /// Fixed-key-order pretty JSON.
+    Json,
+    /// Flat CSV.
+    Csv,
+}
+
+impl Format {
+    /// Every format, for CLI help text and exhaustive tests.
+    pub const ALL: [Format; 3] = [Format::Text, Format::Json, Format::Csv];
+
+    /// The file extension conventionally used for this format.
+    #[must_use]
+    pub fn extension(&self) -> &'static str {
+        match self {
+            Format::Text => "txt",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        }
+    }
+}
+
+impl core::fmt::Display for Format {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Format::Text => "text",
+            Format::Json => "json",
+            Format::Csv => "csv",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Error returned when parsing an unknown format name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatParseError(pub String);
+
+impl core::fmt::Display for FormatParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown format '{}' (expected text|json|csv)", self.0)
+    }
+}
+
+impl std::error::Error for FormatParseError {}
+
+impl core::str::FromStr for Format {
+    type Err = FormatParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" | "txt" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            other => Err(FormatParseError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_params_columns_rows_and_notes() {
+        let mut r = Report::new("id", "Title")
+            .with_param("seed", 1u64)
+            .with_columns([Column::new("a"), Column::with_unit("b", "s")]);
+        r.push_row(crate::row![1u32, 2.0]);
+        r.push_note("n");
+        assert_eq!(r.params.len(), 1);
+        assert_eq!(r.columns[1].header(), "b (s)");
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.notes, vec!["n".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells but 2 columns")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("id", "T").with_columns([Column::new("a"), Column::new("b")]);
+        r.push_row(crate::row![1u32]);
+    }
+
+    #[test]
+    fn format_round_trips_through_names() {
+        for f in Format::ALL {
+            let parsed: Format = f.to_string().parse().unwrap();
+            assert_eq!(parsed, f);
+        }
+        assert!("yaml".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn render_dispatches_to_all_formats() {
+        let r = Report::new("id", "T").with_column(Column::new("a"));
+        assert!(r.render(Format::Text).contains('a'));
+        assert!(r.render(Format::Json).contains("\"id\""));
+        assert!(r.render(Format::Csv).starts_with('a'));
+    }
+}

@@ -1,0 +1,225 @@
+//! The scalar cell type of a [`Report`](crate::Report) table.
+
+use serde::{Deserialize, Serialize};
+
+/// One cell of a report row (or one named parameter value).
+///
+/// The variants cover everything the paper artefacts need: counts, measured
+/// quantities, labels, yes/no judgements, and "not applicable" holes (Table 1
+/// has no failure probability for the split operation, Figure 9 has no
+/// connection time where the fidelity budget is infeasible).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / not applicable. Renders as `-` in text and CSV, `null` in
+    /// JSON.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so `u64` counts above `i64::MAX`
+    /// survive).
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null` in JSON.
+    Float(f64),
+    /// Text.
+    Str(String),
+}
+
+impl Value {
+    /// The canonical text rendering of the cell (shared by the text and CSV
+    /// renderers).
+    ///
+    /// Floats use Rust's shortest round-trip formatting, which is
+    /// deterministic for a given value — the property the golden tests rely
+    /// on.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        match self {
+            Value::Null => "-".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => s.clone(),
+        }
+    }
+
+    /// The JSON rendering of the cell (escaped and `null`-safe).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) if !f.is_finite() => "null".to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => json_escape(s),
+        }
+    }
+}
+
+/// Shortest round-trip float formatting; `NaN`/`inf` spelled out for the
+/// text renderers (the JSON renderer turns them into `null` first).
+///
+/// Magnitudes outside `[1e-4, 1e15)` use scientific notation (valid JSON,
+/// and it keeps threshold probabilities like `8.7e-11` readable); the
+/// boundary test is a plain comparison, not a logarithm, so the choice is
+/// bit-deterministic across platforms.
+#[must_use]
+pub fn format_float(f: f64) -> String {
+    if f.is_nan() {
+        return "NaN".to_string();
+    }
+    let magnitude = f.abs();
+    if f == 0.0 || (1e-4..1e15).contains(&magnitude) {
+        format!("{f}")
+    } else {
+        format!("{f:e}")
+    }
+}
+
+/// Escape a string as a JSON string literal, including the surrounding
+/// quotes.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(u: u32) -> Self {
+        Value::UInt(u64::from(u))
+    }
+}
+impl From<u64> for Value {
+    fn from(u: u64) -> Self {
+        Value::UInt(u)
+    }
+}
+impl From<usize> for Value {
+    fn from(u: usize) -> Self {
+        Value::UInt(u as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Build a report row from heterogeneous cell expressions:
+/// `row![level, latency_ms, "note"]`.
+#[macro_export]
+macro_rules! row {
+    ($($cell:expr),* $(,)?) => {
+        vec![$($crate::Value::from($cell)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_covers_every_variant() {
+        assert_eq!(Value::Null.render_text(), "-");
+        assert_eq!(Value::Bool(true).render_text(), "true");
+        assert_eq!(Value::Int(-3).render_text(), "-3");
+        assert_eq!(Value::UInt(u64::MAX).render_text(), u64::MAX.to_string());
+        assert_eq!(Value::Float(0.5).render_text(), "0.5");
+        assert_eq!(Value::Float(f64::NAN).render_text(), "NaN");
+        assert_eq!(Value::Str("x".into()).render_text(), "x");
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nullifies() {
+        assert_eq!(Value::Float(f64::INFINITY).render_json(), "null");
+        assert_eq!(Value::Null.render_json(), "null");
+        assert_eq!(
+            Value::Str("a\"b\\c\nd".into()).render_json(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(Value::Float(1.0).render_json(), "1");
+        assert_eq!(Value::Float(2.5e-3).render_json(), "0.0025");
+    }
+
+    #[test]
+    fn row_macro_converts_mixed_types() {
+        let r = row![1u64, 2.5, "s", true, Option::<u64>::None];
+        assert_eq!(
+            r,
+            vec![
+                Value::UInt(1),
+                Value::Float(2.5),
+                Value::Str("s".into()),
+                Value::Bool(true),
+                Value::Null,
+            ]
+        );
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        for &x in &[0.003, 0.043, 1.0 / 3.0, 6.02e23, -1.5e-9, 1e-4, 9.99e14] {
+            let s = format_float(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+
+    #[test]
+    fn float_formatting_switches_to_scientific_outside_the_readable_range() {
+        assert_eq!(format_float(0.0), "0");
+        assert_eq!(format_float(0.043), "0.043");
+        assert_eq!(format_float(1e-4), "0.0001");
+        assert_eq!(format_float(-8.7e-11), "-8.7e-11");
+        assert_eq!(format_float(6.02e23), "6.02e23");
+    }
+}

@@ -98,6 +98,15 @@ pub struct ToffoliScheduleReport {
     pub overlaps_with_ecc: bool,
 }
 
+impl ToffoliScheduleReport {
+    /// Aggregate bandwidth utilisation as a percentage — the headline number
+    /// of the paper's Section 5 scheduler study (~23% at bandwidth 2).
+    #[must_use]
+    pub fn utilization_percent(&self) -> f64 {
+        self.result.utilization * 100.0
+    }
+}
+
 /// Schedule the EPR traffic of the given Toffoli sites on a mesh with the
 /// given bandwidth.
 #[must_use]

@@ -30,5 +30,7 @@ pub use classical::{classical_mips_years, QuantumClassicalComparison};
 pub use modexp::{modexp_costs, ModExpCosts};
 pub use period::{factor, factor_with_base, Factorisation};
 pub use qcla::{qcla, QclaResources};
-pub use resources::{ShorEstimator, ShorResources, AVERAGE_REPETITIONS};
+pub use resources::{
+    PaperTable2Row, ShorEstimator, ShorResources, AVERAGE_REPETITIONS, PAPER_TABLE2,
+};
 pub use toffoli::FaultTolerantToffoli;

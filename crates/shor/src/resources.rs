@@ -12,6 +12,61 @@ use serde::{Deserialize, Serialize};
 /// the classical post-processing succeeds (Ekert & Jozsa; Section 5 uses 1.3).
 pub const AVERAGE_REPETITIONS: f64 = 1.3;
 
+/// One row of the paper's published Table 2, kept alongside the estimator so
+/// comparisons ship with the library instead of being copy-pasted into every
+/// front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperTable2Row {
+    /// Problem size in bits.
+    pub bits: usize,
+    /// Logical qubits.
+    pub logical_qubits: u64,
+    /// Toffoli gates.
+    pub toffoli_gates: u64,
+    /// Total gates.
+    pub total_gates: u64,
+    /// Chip area in square metres.
+    pub area_m2: f64,
+    /// Expected run time in days.
+    pub days: f64,
+}
+
+/// The paper's Table 2 as published (MICRO-38, 2005).
+pub const PAPER_TABLE2: [PaperTable2Row; 4] = [
+    PaperTable2Row {
+        bits: 128,
+        logical_qubits: 37_971,
+        toffoli_gates: 63_729,
+        total_gates: 115_033,
+        area_m2: 0.11,
+        days: 0.9,
+    },
+    PaperTable2Row {
+        bits: 512,
+        logical_qubits: 150_771,
+        toffoli_gates: 397_910,
+        total_gates: 1_016_295,
+        area_m2: 0.45,
+        days: 5.5,
+    },
+    PaperTable2Row {
+        bits: 1024,
+        logical_qubits: 301_251,
+        toffoli_gates: 964_919,
+        total_gates: 3_270_582,
+        area_m2: 0.90,
+        days: 13.4,
+    },
+    PaperTable2Row {
+        bits: 2048,
+        logical_qubits: 602_259,
+        toffoli_gates: 2_301_767,
+        total_gates: 11_148_214,
+        area_m2: 1.80,
+        days: 32.1,
+    },
+];
+
 /// One row of Table 2, plus the intermediate quantities of the Section 5
 /// walk-through.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -16,7 +16,8 @@
 //! | [`layout`] | `qla-layout` | logical-qubit tiles, chip floorplan, ballistic routing, area model |
 //! | [`network`] | `qla-network` | EPR pairs, purification, repeaters, connection-time model (Fig. 9) |
 //! | [`sched`] | `qla-sched` | greedy EPR-distribution scheduler (Section 5) |
-//! | [`core`] | `qla-core` | ARQ simulator, Monte-Carlo threshold experiment (Fig. 7), the QLA machine |
+//! | [`report`] | `qla-report` | typed experiment reports, deterministic text/JSON/CSV renderers |
+//! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
 //! | [`shor`] | `qla-shor` | QCLA, fault-tolerant Toffoli, modular exponentiation, Table 2 |
 //!
 //! # Quick start
@@ -41,6 +42,7 @@ pub use qla_layout as layout;
 pub use qla_network as network;
 pub use qla_physical as physical;
 pub use qla_qec as qec;
+pub use qla_report as report;
 pub use qla_sched as sched;
 pub use qla_shor as shor;
 pub use qla_stabilizer as stabilizer;
