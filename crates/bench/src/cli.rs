@@ -4,19 +4,29 @@
 //! Before the redesign every binary in `src/bin/` hand-rolled its own
 //! `std::env::args().nth(1)…` parsing; this module is the single replacement.
 //! It understands the unified flag set (`--trials`, `--seed`, `--format`,
-//! `--out-dir`), a bare positional integer as the trial count (the historical
-//! calling convention of `fig7_threshold`), and tolerates the historical
-//! ablation flags (`--serial`, `--sweep-bandwidth`, `--ballistic-baseline`)
-//! whose ablations are now always part of the corresponding experiment's
-//! report.
+//! `--out-dir`, `--jobs`), a bare positional integer as the trial count (the
+//! historical calling convention of `fig7_threshold`), and tolerates the
+//! historical ablation flags (`--serial`, `--sweep-bandwidth`,
+//! `--ballistic-baseline`) whose ablations are now always part of the
+//! corresponding experiment's report.
+//!
+//! `--jobs N` — or `--jobs auto` to size the pool to the machine —
+//! selects the [`Executor`] sweeps run on (default: the `QLA_JOBS`
+//! environment variable, else `1`). Parallelism never changes output:
+//! reports are byte-identical at every job count, and the CI determinism
+//! job diffs the report trees to prove it.
 
 use crate::registry;
-use qla_core::ExperimentContext;
+use qla_core::{DynExperiment, Executor, ExperimentContext};
 use qla_report::{Format, Report};
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 
 /// Seed used when the caller does not pass `--seed` (the paper's year).
 pub const DEFAULT_SEED: u64 = 2005;
+
+/// Environment variable supplying the default `--jobs` value.
+pub const JOBS_ENV: &str = "QLA_JOBS";
 
 /// Parsed common arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +40,9 @@ pub struct CliArgs {
     /// Directory to write one `<experiment>.<ext>` file per report into
     /// (reports still print to stdout when unset).
     pub out_dir: Option<PathBuf>,
+    /// Worker threads for sweep evaluation; `None` means "consult
+    /// [`JOBS_ENV`], else run sequentially".
+    pub jobs: Option<usize>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
 }
@@ -41,6 +54,7 @@ impl Default for CliArgs {
             seed: DEFAULT_SEED,
             format: Format::Text,
             out_dir: None,
+            jobs: None,
             positional: Vec::new(),
         }
     }
@@ -75,6 +89,10 @@ impl CliArgs {
                     let v = iter.next().ok_or("--out-dir needs a value")?;
                     parsed.out_dir = Some(PathBuf::from(v));
                 }
+                "--jobs" => {
+                    let v = iter.next().ok_or("--jobs needs a value")?;
+                    parsed.jobs = Some(parse_jobs("--jobs", &v)?);
+                }
                 // Historical ablation flags: the ablations are now always
                 // included in the reports, so these are accepted and ignored.
                 "--serial" | "--sweep-bandwidth" | "--ballistic-baseline" => {}
@@ -104,10 +122,61 @@ impl CliArgs {
     }
 
     /// The execution context for an experiment with the given default trial
-    /// budget.
+    /// budget (sequential; see [`Self::parallel_context`]).
     #[must_use]
     pub fn context(&self, default_trials: usize) -> ExperimentContext {
         ExperimentContext::new(self.trials.unwrap_or(default_trials), self.seed)
+    }
+
+    /// [`Self::context`] carrying the executor selected by `--jobs` /
+    /// [`JOBS_ENV`].
+    ///
+    /// # Errors
+    /// Returns a message when the environment variable is set but is not a
+    /// positive integer.
+    pub fn parallel_context(&self, default_trials: usize) -> Result<ExperimentContext, String> {
+        Ok(self.context(default_trials).with_executor(self.executor()?))
+    }
+
+    /// The executor selected by `--jobs`, falling back to [`JOBS_ENV`] and
+    /// then to sequential execution.
+    ///
+    /// # Errors
+    /// Returns a message when the environment variable is set but is not a
+    /// positive integer.
+    pub fn executor(&self) -> Result<Executor, String> {
+        let env = std::env::var(JOBS_ENV).ok();
+        resolve_jobs(self.jobs, env.as_deref()).map(Executor::from_jobs)
+    }
+}
+
+/// The effective job count from the `--jobs` flag and the [`JOBS_ENV`]
+/// value: the flag wins, the environment supplies the default, and with
+/// neither the answer is `1` (sequential).
+///
+/// # Errors
+/// Returns a message when the environment value is present but malformed —
+/// a misspelled `QLA_JOBS=four` fails loudly instead of silently running
+/// sequentially.
+pub fn resolve_jobs(flag: Option<usize>, env: Option<&str>) -> Result<usize, String> {
+    match (flag, env) {
+        (Some(jobs), _) => Ok(jobs),
+        (None, Some(value)) => parse_jobs(JOBS_ENV, value),
+        (None, None) => Ok(1),
+    }
+}
+
+/// Parse a job count from `source` (a flag name or environment variable).
+/// `auto` means "size to the machine"; zero is rejected — there is no "no
+/// threads" mode, only sequential (`1`).
+fn parse_jobs(source: &str, value: &str) -> Result<usize, String> {
+    if value == "auto" {
+        return Ok(Executor::available_parallelism().jobs());
+    }
+    match value.parse::<usize>() {
+        Ok(0) => Err(format!("{source} must be at least 1 (got 0)")),
+        Ok(jobs) => Ok(jobs),
+        Err(_) => Err(format!("bad {source} value '{value}'")),
     }
 }
 
@@ -124,10 +193,92 @@ pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
             registry::names().join(", ")
         )
     })?;
-    let ctx = args.context(experiment.default_trials());
+    let ctx = args.parallel_context(experiment.default_trials())?;
     let report = experiment.run_report(&ctx);
     emit(&report, args)?;
     Ok(report)
+}
+
+/// What happened to each experiment of a `run-all` invocation.
+#[derive(Debug, Default)]
+pub struct RunAllOutcome {
+    /// Names of the experiments that ran and emitted a report.
+    pub completed: Vec<&'static str>,
+    /// `(name, panic message)` for every experiment that panicked. The
+    /// driver keeps going past failures so one broken experiment cannot
+    /// mask the results (or further failures) of the rest.
+    pub failed: Vec<(&'static str, String)>,
+}
+
+impl RunAllOutcome {
+    /// One line summarising the failures, e.g. for the driver's exit
+    /// message: `2/9 experiments failed: fig7-threshold, table1`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let total = self.completed.len() + self.failed.len();
+        let names: Vec<&str> = self.failed.iter().map(|(name, _)| *name).collect();
+        format!(
+            "{}/{total} experiments failed: {}",
+            self.failed.len(),
+            names.join(", ")
+        )
+    }
+}
+
+/// Run every registered experiment under the parsed arguments, emitting one
+/// report per experiment and isolating per-experiment failures.
+///
+/// # Errors
+/// Returns a message only for up-front environment/usage errors (bad
+/// [`JOBS_ENV`]). Per-experiment problems — a panic mid-run, or a report
+/// that cannot be written — are recorded in [`RunAllOutcome::failed`] and
+/// the remaining experiments still run, so one bad experiment (or a disk
+/// filling up mid-sweep) cannot mask the rest.
+pub fn run_all(args: &CliArgs) -> Result<RunAllOutcome, String> {
+    run_experiments(registry::registry(), args)
+}
+
+/// [`run_all`] over an explicit experiment list (the testable core).
+///
+/// # Errors
+/// See [`run_all`].
+pub fn run_experiments(
+    experiments: Vec<Box<dyn DynExperiment>>,
+    args: &CliArgs,
+) -> Result<RunAllOutcome, String> {
+    let executor = args.executor()?;
+    let total = experiments.len();
+    let mut outcome = RunAllOutcome::default();
+    for (i, experiment) in experiments.into_iter().enumerate() {
+        let name = experiment.name();
+        eprintln!("[{}/{total}] {name}", i + 1);
+        let ctx = args
+            .context(experiment.default_trials())
+            .with_executor(executor);
+        match std::panic::catch_unwind(AssertUnwindSafe(|| experiment.run_report(&ctx))) {
+            Ok(report) => match emit(&report, args) {
+                Ok(()) => {
+                    println!();
+                    outcome.completed.push(name);
+                }
+                Err(message) => outcome.failed.push((name, message)),
+            },
+            Err(payload) => outcome.failed.push((name, panic_message(payload.as_ref()))),
+        }
+    }
+    Ok(outcome)
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string or a
+/// formatted message covers every panic in this workspace).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Print a report in the requested format and, when `--out-dir` is set,
@@ -242,5 +393,123 @@ mod tests {
         let err = run_experiment("no-such-thing", &CliArgs::default()).unwrap_err();
         assert!(err.contains("unknown experiment"));
         assert!(err.contains("fig7-threshold"));
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_rejects_nonsense() {
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
+        assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, Some(1));
+        assert!(parse(&["--jobs", "auto"]).unwrap().jobs.unwrap() >= 1);
+        assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs"));
+        assert!(parse(&["--jobs", "x"]).unwrap_err().contains("x"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_flag_then_env_then_sequential() {
+        assert_eq!(resolve_jobs(Some(8), Some("2")), Ok(8));
+        assert_eq!(resolve_jobs(None, Some("2")), Ok(2));
+        assert_eq!(resolve_jobs(None, None), Ok(1));
+        assert!(resolve_jobs(None, Some("four"))
+            .unwrap_err()
+            .contains("QLA_JOBS"));
+        assert!(resolve_jobs(None, Some("0"))
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn parallel_context_carries_the_requested_executor() {
+        let args = parse(&["--jobs", "4", "--trials", "10"]).unwrap();
+        let ctx = args.parallel_context(99).unwrap();
+        assert_eq!(ctx.executor, Executor::from_jobs(4));
+        assert_eq!(ctx.trials, 10);
+        // Without --jobs (and barring an ambient QLA_JOBS) the context is
+        // sequential.
+        if std::env::var(JOBS_ENV).is_err() {
+            let ctx = parse(&[]).unwrap().parallel_context(99).unwrap();
+            assert_eq!(ctx.executor, Executor::Sequential);
+        }
+    }
+
+    /// A registry stand-in that panics mid-run, for the isolation tests.
+    struct Exploding;
+
+    impl DynExperiment for Exploding {
+        fn name(&self) -> &'static str {
+            "exploding"
+        }
+        fn title(&self) -> &'static str {
+            "Always panics"
+        }
+        fn description(&self) -> &'static str {
+            "test double"
+        }
+        fn default_trials(&self) -> usize {
+            1
+        }
+        fn run_report(&self, _ctx: &ExperimentContext) -> Report {
+            panic!("detonated as designed");
+        }
+    }
+
+    /// A registry stand-in that succeeds, to prove the driver keeps going.
+    struct Fine;
+
+    impl DynExperiment for Fine {
+        fn name(&self) -> &'static str {
+            "fine"
+        }
+        fn title(&self) -> &'static str {
+            "Always succeeds"
+        }
+        fn description(&self) -> &'static str {
+            "test double"
+        }
+        fn default_trials(&self) -> usize {
+            1
+        }
+        fn run_report(&self, _ctx: &ExperimentContext) -> Report {
+            let mut r =
+                Report::new("fine", "Always succeeds").with_column(qla_report::Column::new("x"));
+            r.push_row(qla_report::row![1u32]);
+            r
+        }
+    }
+
+    #[test]
+    fn run_experiments_isolates_panics_and_keeps_going() {
+        // `Exploding`'s panics go through the default hook, whose output
+        // the test harness captures per-test — no need to (racily) swap
+        // the process-global hook.
+        let outcome = run_experiments(
+            vec![Box::new(Exploding), Box::new(Fine), Box::new(Exploding)],
+            &CliArgs::default(),
+        );
+
+        let outcome = outcome.unwrap();
+        assert_eq!(outcome.completed, vec!["fine"]);
+        assert_eq!(outcome.failed.len(), 2);
+        assert_eq!(outcome.failed[0].0, "exploding");
+        assert!(outcome.failed[0].1.contains("detonated as designed"));
+        assert_eq!(
+            outcome.summary(),
+            "2/3 experiments failed: exploding, exploding"
+        );
+    }
+
+    #[test]
+    fn run_experiments_records_write_errors_without_aborting_the_rest() {
+        // An unwritable --out-dir ( /dev/null can't be a directory ) must
+        // be recorded as that experiment's failure, not abort the run and
+        // drop the summary.
+        let args = CliArgs {
+            out_dir: Some(PathBuf::from("/dev/null/not-a-dir")),
+            ..CliArgs::default()
+        };
+        let outcome = run_experiments(vec![Box::new(Fine), Box::new(Fine)], &args).unwrap();
+        assert!(outcome.completed.is_empty());
+        assert_eq!(outcome.failed.len(), 2, "both experiments still ran");
+        assert!(outcome.failed[0].1.contains("cannot create"));
     }
 }

@@ -50,9 +50,12 @@ impl Experiment for Fig7Threshold {
             seed: ctx.seed,
             movement_error: MOVEMENT_ERROR,
         };
+        // Both sweeps route through the context's executor; every point is
+        // seeded from its own rate, so the output is byte-identical at any
+        // thread count (pinned by the parallel-determinism tests).
         Fig7Output {
-            points: experiment.sweep(&SWEEP_RATES),
-            empirical_threshold: experiment.estimate_threshold(3e-4, 3e-2, 14),
+            points: experiment.sweep_with(&SWEEP_RATES, &ctx.executor),
+            empirical_threshold: experiment.estimate_threshold_with(3e-4, 3e-2, 14, &ctx.executor),
         }
     }
 

@@ -56,32 +56,33 @@ impl Experiment for Fig9Connection {
         1
     }
 
-    fn run(&self, _ctx: &ExperimentContext) -> Fig9Output {
+    fn run(&self, ctx: &ExperimentContext) -> Fig9Output {
         let params = InterconnectParams::paper_calibrated();
         let tech = TechnologyParams::expected();
-        let rows = (DISTANCE_STEP..=DISTANCE_MAX)
-            .step_by(DISTANCE_STEP)
-            .map(|distance| {
-                let times_ms = FIGURE9_SEPARATIONS
-                    .iter()
-                    .map(|&d| {
-                        plan_connection(&params, distance, d)
-                            .ok()
-                            .map(|plan| plan.total_time.as_millis())
-                    })
-                    .collect();
-                let route = BallisticRoute {
-                    dx_cells: distance,
-                    dy_cells: 0,
-                    corner_turns: 2,
-                };
-                ConnectionRow {
-                    distance_cells: distance,
-                    times_ms,
-                    ballistic_failure: route.logical_block_failure(&tech, 49),
-                }
-            })
-            .collect();
+        // Each swept distance is planned independently, so the context's
+        // executor may evaluate the rows concurrently; index order keeps
+        // the table sorted by distance.
+        let rows = ctx.executor.map_indices(DISTANCE_MAX / DISTANCE_STEP, |i| {
+            let distance = (i + 1) * DISTANCE_STEP;
+            let times_ms = FIGURE9_SEPARATIONS
+                .iter()
+                .map(|&d| {
+                    plan_connection(&params, distance, d)
+                        .ok()
+                        .map(|plan| plan.total_time.as_millis())
+                })
+                .collect();
+            let route = BallisticRoute {
+                dx_cells: distance,
+                dy_cells: 0,
+                corner_turns: 2,
+            };
+            ConnectionRow {
+                distance_cells: distance,
+                times_ms,
+                ballistic_failure: route.logical_block_failure(&tech, 49),
+            }
+        });
 
         let mut crossover_cells = None;
         for distance in (1_000..20_000).step_by(200) {

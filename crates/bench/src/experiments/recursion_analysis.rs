@@ -60,22 +60,24 @@ impl Experiment for RecursionAnalysis {
         1
     }
 
-    fn run(&self, _ctx: &ExperimentContext) -> RecursionOutput {
+    fn run(&self, ctx: &ExperimentContext) -> RecursionOutput {
         let theory = ThresholdAnalysis::paper_design_point();
         let empirical = ThresholdAnalysis::empirical_design_point();
-        let rows = (1..=4u32)
-            .map(|level| {
-                let code = ConcatenatedSteane::new(level);
-                RecursionRow {
-                    level,
-                    data_qubits: code.data_qubits(),
-                    ion_sites: code.total_ions(),
-                    failure_theory: theory.encoded_failure_rate(level),
-                    failure_empirical: empirical.encoded_failure_rate(level),
-                    max_computation_size: theory.max_computation_size(level),
-                }
-            })
-            .collect();
+        // Each level's row is independent of the others, so the executor
+        // may evaluate them concurrently; index order keeps the table
+        // sorted by level.
+        let rows = ctx.executor.map_indices(4, |i| {
+            let level = i as u32 + 1;
+            let code = ConcatenatedSteane::new(level);
+            RecursionRow {
+                level,
+                data_qubits: code.data_qubits(),
+                ion_sites: code.total_ions(),
+                failure_theory: theory.encoded_failure_rate(level),
+                failure_empirical: empirical.encoded_failure_rate(level),
+                max_computation_size: theory.max_computation_size(level),
+            }
+        });
         RecursionOutput {
             rows,
             required_level_shor1024: theory.required_level(SHOR_1024_STEPS, 4),

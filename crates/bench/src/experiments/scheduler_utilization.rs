@@ -75,27 +75,28 @@ impl Experiment for SchedulerUtilization {
             .expect("paper design point is valid");
         let pairs_per_window = machine.epr_pairs_per_ecc_window();
 
-        let mut rows = Vec::new();
-        for (i, &bandwidth) in BANDWIDTHS.iter().enumerate() {
-            for (j, &toffolis) in TOFFOLI_COUNTS.iter().enumerate() {
-                let mesh = Mesh::from_floorplan(&machine.floorplan, bandwidth)
-                    .with_pairs_per_window(pairs_per_window);
-                // Every cell draws its workload from an independent derived
-                // seed, so single cells can be re-run (or parallelised)
-                // reproducibly.
-                let mut rng = ctx.rng_for_point((i * TOFFOLI_COUNTS.len() + j) as u64);
-                let sites = random_toffoli_sites(&mesh, toffolis, &mut rng);
-                let report = schedule_toffoli_traffic(&mesh, &sites, WINDOWS_ALLOWED);
-                rows.push(SchedulerRow {
-                    bandwidth,
-                    toffolis,
-                    pairs_delivered: report.result.pairs_delivered(),
-                    windows_used: report.result.windows_used,
-                    utilization_percent: report.utilization_percent(),
-                    overlaps_with_ecc: report.overlaps_with_ecc,
-                });
+        // Every (bandwidth, batch) cell draws its workload from an
+        // independent derived seed, so cells can be evaluated concurrently
+        // by the context's executor (or re-run singly) reproducibly; index
+        // order keeps the row order of the sequential nested loop.
+        let cells = BANDWIDTHS.len() * TOFFOLI_COUNTS.len();
+        let rows = ctx.executor.map_indices(cells, |cell| {
+            let (i, j) = (cell / TOFFOLI_COUNTS.len(), cell % TOFFOLI_COUNTS.len());
+            let (bandwidth, toffolis) = (BANDWIDTHS[i], TOFFOLI_COUNTS[j]);
+            let mesh = Mesh::from_floorplan(&machine.floorplan, bandwidth)
+                .with_pairs_per_window(pairs_per_window);
+            let mut rng = ctx.rng_for_point(cell as u64);
+            let sites = random_toffoli_sites(&mesh, toffolis, &mut rng);
+            let report = schedule_toffoli_traffic(&mesh, &sites, WINDOWS_ALLOWED);
+            SchedulerRow {
+                bandwidth,
+                toffolis,
+                pairs_delivered: report.result.pairs_delivered(),
+                windows_used: report.result.windows_used,
+                utilization_percent: report.utilization_percent(),
+                overlaps_with_ecc: report.overlaps_with_ecc,
             }
-        }
+        });
         SchedulerOutput {
             rows,
             pairs_per_window,

@@ -2,23 +2,27 @@
 //!
 //! ```text
 //! qla-bench list
-//! qla-bench run <experiment> [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
-//! qla-bench run-all          [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--format text|json|csv] [--out-dir DIR]
 //! ```
 //!
 //! Every experiment is resolved through `qla_bench::registry`; rendering
 //! goes through the typed `qla_report::Report` model, so `--format json`
 //! emits the same machine-readable document CI archives as a build
-//! artefact.
+//! artefact. `--jobs N` (default `QLA_JOBS`, else 1) evaluates sweep
+//! points on N threads without changing a single output byte — the CI
+//! determinism job diffs `--jobs 1` against `--jobs 4` report trees.
 
 use qla_bench::cli::{self, CliArgs};
 use qla_bench::registry;
 
 const USAGE: &str = "usage:
   qla-bench list
-  qla-bench run <experiment> [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
-  qla-bench run-all          [--trials N] [--seed S] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--format text|json|csv] [--out-dir DIR]
 
+--jobs N evaluates sweep points on N threads ('auto' sizes to the machine;
+default: $QLA_JOBS, else 1); output is byte-identical at every job count.
 run `qla-bench list` to see the registered experiments.";
 
 fn main() {
@@ -75,15 +79,17 @@ fn list() {
 }
 
 fn run_all(args: &CliArgs) {
-    let total = registry::registry().len();
-    for (i, experiment) in registry::registry().into_iter().enumerate() {
-        eprintln!("[{}/{total}] {}", i + 1, experiment.name());
-        let ctx = args.context(experiment.default_trials());
-        let report = experiment.run_report(&ctx);
-        if let Err(message) = cli::emit(&report, args) {
-            fail(&message);
+    let outcome = match cli::run_all(args) {
+        Ok(outcome) => outcome,
+        Err(message) => fail(&message),
+    };
+    if !outcome.failed.is_empty() {
+        eprintln!("run-all: {}", outcome.summary());
+        for (name, message) in &outcome.failed {
+            eprintln!("  {name}: {message}");
         }
-        println!();
+        // Exit 1 (partial failure), distinct from usage errors' exit 2.
+        std::process::exit(1);
     }
 }
 

@@ -12,6 +12,7 @@
 //! still produce bit-identical results — without any shared RNG state and
 //! without a rayon dependency.
 
+use crate::executor::Executor;
 use qla_report::Report;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -26,13 +27,23 @@ pub struct ExperimentContext {
     /// (directly or through [`Self::derived_seed`] /
     /// [`Self::rng_for_point`]).
     pub seed: u64,
+    /// How sweep points are evaluated. **Must not affect any output**: an
+    /// experiment's result is a function of `(trials, seed)` alone, and the
+    /// executor only changes how fast that result is computed. The golden
+    /// and CI determinism tests enforce this byte-for-byte.
+    pub executor: Executor,
 }
 
 impl ExperimentContext {
-    /// A context with the given trial budget and seed.
+    /// A context with the given trial budget and seed, evaluated
+    /// sequentially (attach a thread pool with [`Self::with_executor`]).
     #[must_use]
     pub fn new(trials: usize, seed: u64) -> Self {
-        ExperimentContext { trials, seed }
+        ExperimentContext {
+            trials,
+            seed,
+            executor: Executor::Sequential,
+        }
     }
 
     /// An independent seed for sweep point `index`, derived with the
@@ -60,6 +71,20 @@ impl ExperimentContext {
     #[must_use]
     pub fn with_trials(self, trials: usize) -> Self {
         ExperimentContext { trials, ..self }
+    }
+
+    /// This context with a different execution strategy.
+    #[must_use]
+    pub fn with_executor(self, executor: Executor) -> Self {
+        ExperimentContext { executor, ..self }
+    }
+
+    /// This context evaluated with `jobs` worker threads (`0`/`1` mean
+    /// sequential) — the `--jobs N` convenience form of
+    /// [`Self::with_executor`].
+    #[must_use]
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        self.with_executor(Executor::from_jobs(jobs))
     }
 }
 
@@ -154,14 +179,36 @@ impl Runner {
         experiment.report(&self.ctx, &output)
     }
 
+    /// Run one experiment under a specific execution strategy, returning
+    /// its typed output.
+    ///
+    /// This is the parallel entry point: the experiment sees
+    /// `self.ctx.with_executor(executor)` and routes its internal sweeps
+    /// through it. The output is guaranteed (and tested) to be identical to
+    /// [`Runner::run`] for every thread count — parallelism is a pure
+    /// speed-up, never a result change.
+    pub fn run_parallel<E: Experiment>(&self, experiment: &E, executor: Executor) -> E::Output {
+        experiment.run(&self.ctx.with_executor(executor))
+    }
+
+    /// Run one experiment under a specific execution strategy and project
+    /// it into its report. Byte-identical to [`Runner::report`] for every
+    /// thread count.
+    pub fn report_parallel<E: Experiment>(&self, experiment: &E, executor: Executor) -> Report {
+        let ctx = self.ctx.with_executor(executor);
+        let output = experiment.run(&ctx);
+        experiment.report(&ctx, &output)
+    }
+
     /// Evaluate `f` over every sweep point with an independently seeded
     /// context per point.
     ///
     /// The per-point contexts carry `derived_seed(i)` as their seed, so the
     /// result for point `i` depends only on `(ctx, points[i], i)` — never on
-    /// evaluation order. The loop itself is sequential (the workspace is
-    /// rayon-free by policy), but a future parallel map over the same
-    /// derived contexts is guaranteed to produce the same results.
+    /// evaluation order. This form takes `FnMut` and always runs the loop
+    /// sequentially; [`Runner::sweep_parallel`] is the executor-routed
+    /// equivalent with the same per-point seeding, guaranteed to produce
+    /// the same results.
     pub fn sweep<P, R>(
         &self,
         points: &[P],
@@ -170,14 +217,41 @@ impl Runner {
         points
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                let point_ctx = ExperimentContext {
-                    trials: self.ctx.trials,
-                    seed: self.ctx.derived_seed(i as u64),
-                };
-                f(&point_ctx, p)
-            })
+            .map(|(i, p)| f(&self.point_context(i), p))
             .collect()
+    }
+
+    /// Evaluate `f` over every sweep point through the context's
+    /// [`Executor`], reassembling results in point order.
+    ///
+    /// Identical seeding and ordering semantics to [`Runner::sweep`]; only
+    /// the evaluation strategy differs, so for a pure `f` the two are
+    /// interchangeable at every thread count.
+    pub fn sweep_parallel<P, R>(
+        &self,
+        points: &[P],
+        f: impl Fn(&ExperimentContext, &P) -> R + Sync,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+    {
+        self.ctx
+            .executor
+            .map(points, |i, p| f(&self.point_context(i), p))
+    }
+
+    /// The derived context sweep point `i` is evaluated under: the master
+    /// seed is replaced by `derived_seed(i)`, and the executor is reset to
+    /// sequential so a parallel sweep never oversubscribes by nesting
+    /// thread pools.
+    #[must_use]
+    fn point_context(&self, index: usize) -> ExperimentContext {
+        ExperimentContext {
+            trials: self.ctx.trials,
+            seed: self.ctx.derived_seed(index as u64),
+            executor: Executor::Sequential,
+        }
     }
 }
 
@@ -214,7 +288,7 @@ mod tests {
         fn run(&self, ctx: &ExperimentContext) -> MeanOutput {
             use rand::Rng;
             let runner = Runner::new(*ctx);
-            let means = runner.sweep(&[0u8, 1, 2], |point_ctx, _| {
+            let means = runner.sweep_parallel(&[0u8, 1, 2], |point_ctx, _| {
                 let mut rng = point_ctx.rng_for_point(0);
                 let sum: f64 = (0..point_ctx.trials).map(|_| rng.random::<f64>()).sum();
                 sum / point_ctx.trials as f64
@@ -269,6 +343,45 @@ mod tests {
         let dynamic = (&MeanDraw as &dyn DynExperiment).run_report(&ctx);
         assert_eq!(direct, dynamic);
         assert_eq!(direct.rows.len(), 3);
+    }
+
+    #[test]
+    fn sweep_parallel_is_identical_to_sweep_at_every_thread_count() {
+        let runner = Runner::new(ExperimentContext::new(48, 11));
+        let points: Vec<u32> = (0..23).collect();
+        let eval = |ctx: &ExperimentContext, p: &u32| {
+            use rand::Rng;
+            let mut rng = ctx.rng_for_point(u64::from(*p));
+            (ctx.seed, rng.random::<u64>())
+        };
+        let sequential = runner.sweep(&points, eval);
+        for jobs in [1usize, 2, 8] {
+            let runner = Runner::new(ExperimentContext::new(48, 11).with_jobs(jobs));
+            assert_eq!(
+                runner.sweep_parallel(&points, eval),
+                sequential,
+                "{jobs} jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn run_parallel_matches_run_for_every_executor() {
+        let runner = Runner::new(ExperimentContext::new(64, 3));
+        let sequential = runner.report(&MeanDraw);
+        for jobs in [1usize, 2, 8] {
+            let report = runner.report_parallel(&MeanDraw, Executor::from_jobs(jobs));
+            assert_eq!(report, sequential, "{jobs} jobs");
+        }
+        let output = runner.run_parallel(&MeanDraw, Executor::from_jobs(4));
+        assert_eq!(output.means.len(), 3);
+    }
+
+    #[test]
+    fn point_contexts_are_sequential_even_under_a_parallel_runner() {
+        let runner = Runner::new(ExperimentContext::new(8, 1).with_jobs(8));
+        let executors = runner.sweep_parallel(&[0u8, 1, 2], |ctx, _| ctx.executor);
+        assert_eq!(executors, vec![Executor::Sequential; 3]);
     }
 
     #[test]

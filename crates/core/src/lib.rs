@@ -14,18 +14,24 @@
 //! * [`experiment`] — the unified experiment API: the [`Experiment`] trait,
 //!   the seed-deriving deterministic [`Runner`], and the object-safe
 //!   [`DynExperiment`] view the `qla-bench` registry is built on.
+//! * [`executor`] — the threading subsystem: the [`Executor`]
+//!   (`Sequential`/`Threads(n)`) scoped thread pool the `Runner` routes
+//!   parallel sweeps through, with results reassembled in index order so
+//!   parallel output is byte-identical to sequential.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arq;
 pub mod builder;
+pub mod executor;
 pub mod experiment;
 pub mod machine;
 pub mod montecarlo;
 
 pub use arq::{Arq, ArqError, ArqRun};
 pub use builder::{MachineBuildError, MachineBuilder};
+pub use executor::Executor;
 pub use experiment::{DynExperiment, Experiment, ExperimentContext, Runner};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};

@@ -24,6 +24,7 @@
 //! The crossing point of the two curves is the empirical threshold; the paper
 //! measures (2.1 ± 1.8) × 10⁻³.
 
+use crate::executor::Executor;
 use qla_qec::{steane_code, CssCode};
 use qla_stabilizer::{CliffordGate, PauliFrame};
 use rand::{Rng, SeedableRng};
@@ -93,25 +94,34 @@ impl ThresholdExperiment {
     }
 
     /// Sweep the component failure rate, producing the two curves of
-    /// Figure 7.
+    /// Figure 7 (sequentially; see [`Self::sweep_with`]).
     #[must_use]
     pub fn sweep(&self, physical_rates: &[f64]) -> Vec<ThresholdPoint> {
-        physical_rates
-            .iter()
-            .map(|&p| {
-                let level1_rate = self.level1_failure_rate(p);
-                let level2_rate = if level1_rate == 0.0 {
-                    0.0
-                } else {
-                    self.level1_failure_rate(level1_rate)
-                };
-                ThresholdPoint {
-                    physical_rate: p,
-                    level1_rate,
-                    level2_rate,
-                }
-            })
-            .collect()
+        self.sweep_with(physical_rates, &Executor::Sequential)
+    }
+
+    /// Sweep the component failure rate through an [`Executor`], producing
+    /// the two curves of Figure 7.
+    ///
+    /// Every point already draws from its own generator (seeded by
+    /// `seed ^ p.to_bits()`), so points are evaluated independently and the
+    /// executor reassembles them in rate order: the result is identical to
+    /// [`Self::sweep`] for every thread count.
+    #[must_use]
+    pub fn sweep_with(&self, physical_rates: &[f64], executor: &Executor) -> Vec<ThresholdPoint> {
+        executor.map(physical_rates, |_, &p| {
+            let level1_rate = self.level1_failure_rate(p);
+            let level2_rate = if level1_rate == 0.0 {
+                0.0
+            } else {
+                self.level1_failure_rate(level1_rate)
+            };
+            ThresholdPoint {
+                physical_rate: p,
+                level1_rate,
+                level2_rate,
+            }
+        })
     }
 
     /// Estimate the pseudo-threshold: the component rate at which the level-1
@@ -119,18 +129,59 @@ impl ThresholdExperiment {
     /// Returns the bracketing estimate from a geometric scan of `[lo, hi]`.
     #[must_use]
     pub fn estimate_threshold(&self, lo: f64, hi: f64, points: usize) -> Option<f64> {
-        let mut previous: Option<(f64, f64)> = None;
-        for i in 0..points {
+        self.estimate_threshold_with(lo, hi, points, &Executor::Sequential)
+    }
+
+    /// [`Self::estimate_threshold`] with the scan points evaluated through
+    /// an [`Executor`].
+    ///
+    /// Sequentially, the scan stops at the first crossing (the rates past
+    /// it are never sampled — they cost a full Monte-Carlo evaluation
+    /// each). In parallel, all `points` rates are evaluated up front (each
+    /// from its own `seed ^ p.to_bits()` generator) and the crossing is
+    /// located in a pass over the ordered ratios. Both paths return the
+    /// *first* crossing over identically seeded, order-independent point
+    /// evaluations, so the estimate is identical for every thread count.
+    #[must_use]
+    pub fn estimate_threshold_with(
+        &self,
+        lo: f64,
+        hi: f64,
+        points: usize,
+        executor: &Executor,
+    ) -> Option<f64> {
+        let scan_rate = |i: usize| {
             let t = i as f64 / (points - 1).max(1) as f64;
-            let p = lo * (hi / lo).powf(t);
-            let ratio = self.level1_failure_rate(p) / p;
-            if let Some((prev_p, prev_ratio)) = previous {
-                if prev_ratio < 1.0 && ratio >= 1.0 {
-                    // Crossing between prev_p and p: geometric midpoint.
-                    return Some((prev_p * p).sqrt());
+            lo * (hi / lo).powf(t)
+        };
+        if matches!(executor, Executor::Sequential) {
+            // Lazy scan with early exit: don't pay for points past the
+            // crossing.
+            let mut previous: Option<(f64, f64)> = None;
+            for i in 0..points {
+                let p = scan_rate(i);
+                let ratio = self.level1_failure_rate(p) / p;
+                if let Some((prev_p, prev_ratio)) = previous {
+                    if prev_ratio < 1.0 && ratio >= 1.0 {
+                        // Crossing between prev_p and p: geometric midpoint.
+                        return Some((prev_p * p).sqrt());
+                    }
                 }
+                previous = Some((p, ratio));
             }
-            previous = Some((p, ratio));
+            return None;
+        }
+        let ratios = executor.map_indices(points, |i| {
+            let p = scan_rate(i);
+            (p, self.level1_failure_rate(p) / p)
+        });
+        for pair in ratios.windows(2) {
+            let [(prev_p, prev_ratio), (p, ratio)] = pair else {
+                unreachable!("windows(2) yields pairs");
+            };
+            if *prev_ratio < 1.0 && *ratio >= 1.0 {
+                return Some((prev_p * p).sqrt());
+            }
         }
         None
     }
@@ -379,5 +430,35 @@ mod tests {
     fn results_are_reproducible_for_a_fixed_seed() {
         let e = quick();
         assert_eq!(e.level1_failure_rate(2e-3), e.level1_failure_rate(2e-3));
+    }
+
+    #[test]
+    fn parallel_sweep_is_identical_to_sequential_for_every_thread_count() {
+        let e = ThresholdExperiment {
+            trials: 1500,
+            ..quick()
+        };
+        let rates = [5e-4, 1e-3, 2e-3, 4e-3, 8e-3];
+        let sequential = e.sweep(&rates);
+        for jobs in [1usize, 2, 8] {
+            let parallel = e.sweep_with(&rates, &Executor::from_jobs(jobs));
+            assert_eq!(parallel, sequential, "{jobs} jobs");
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_estimate_matches_the_early_exiting_scan() {
+        let e = ThresholdExperiment {
+            trials: 3000,
+            ..quick()
+        };
+        let sequential = e.estimate_threshold(2e-4, 3e-2, 10);
+        for jobs in [2usize, 8] {
+            assert_eq!(
+                e.estimate_threshold_with(2e-4, 3e-2, 10, &Executor::from_jobs(jobs)),
+                sequential,
+                "{jobs} jobs"
+            );
+        }
     }
 }

@@ -55,6 +55,13 @@ pub struct Report {
     /// Table columns.
     pub columns: Vec<Column>,
     /// Table rows; every row has exactly `columns.len()` cells.
+    ///
+    /// **Ordering guarantee:** rows appear exactly in [`Report::push_row`]
+    /// insertion order, and every renderer emits them in that order. The
+    /// parallel sweep executor relies on this: it reassembles sweep results
+    /// in point-index order before any row is pushed, so a report built
+    /// from a parallel run renders byte-identically to a sequential one.
+    /// Nothing in this crate may sort, dedupe, or otherwise reorder rows.
     pub rows: Vec<Vec<Value>>,
     /// Free-form observations (paper comparisons, crossover locations, …).
     pub notes: Vec<String>,
@@ -119,6 +126,10 @@ impl Report {
     }
 
     /// Render in the requested format.
+    ///
+    /// All renderers are deterministic functions of the report value and
+    /// preserve row insertion order (see [`Report::rows`]), which is what
+    /// lets golden tests and the CI determinism job pin exact bytes.
     #[must_use]
     pub fn render(&self, format: Format) -> String {
         match format {
@@ -222,6 +233,33 @@ mod tests {
             assert_eq!(parsed, f);
         }
         assert!("yaml".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn every_renderer_preserves_row_insertion_order() {
+        // The ordering guarantee documented on `Report::rows`: renderers
+        // must emit rows exactly as pushed — even when the values would
+        // sort differently — because the parallel executor's byte-identity
+        // contract sits on top of it.
+        let mut r = Report::new("order", "T").with_column(Column::new("v"));
+        let pushed = [30u64, 10, 40, 20];
+        for v in pushed {
+            r.push_row(crate::row![v]);
+        }
+        assert_eq!(
+            r.rows,
+            pushed.iter().map(|&v| crate::row![v]).collect::<Vec<_>>()
+        );
+        for format in Format::ALL {
+            let rendered = r.render(format);
+            let positions: Vec<usize> = pushed
+                .iter()
+                .map(|v| rendered.find(&v.to_string()).expect("value rendered"))
+                .collect();
+            let mut sorted = positions.clone();
+            sorted.sort_unstable();
+            assert_eq!(positions, sorted, "{format}: rows reordered");
+        }
     }
 
     #[test]
