@@ -26,7 +26,7 @@ fn bench_fig7_threshold(c: &mut Criterion) {
     let base = ExperimentContext::new(FIG7_TRIALS, 7);
     let sequential = Fig7Threshold.run(&base);
     for jobs in [1usize, 2, 4] {
-        let ctx = base.with_executor(Executor::from_jobs(jobs));
+        let ctx = base.clone().with_executor(Executor::from_jobs(jobs));
         // Parallelism must be a pure speed-up: identical points, any jobs.
         assert_eq!(Fig7Threshold.run(&ctx).points, sequential.points);
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &ctx, |b, ctx| {
@@ -41,7 +41,7 @@ fn bench_recursion_analysis(c: &mut Criterion) {
     group.sample_size(10);
     let base = ExperimentContext::new(1, 7);
     for jobs in [1usize, 2, 4] {
-        let ctx = base.with_executor(Executor::from_jobs(jobs));
+        let ctx = base.clone().with_executor(Executor::from_jobs(jobs));
         group.bench_with_input(BenchmarkId::new("jobs", jobs), &ctx, |b, ctx| {
             b.iter(|| black_box(RecursionAnalysis.run(black_box(ctx))));
         });

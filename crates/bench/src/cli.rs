@@ -15,9 +15,16 @@
 //! environment variable, else `1`). Parallelism never changes output:
 //! reports are byte-identical at every job count, and the CI determinism
 //! job diffs the report trees to prove it.
+//!
+//! `--profile <name>` selects a built-in [`MachineSpec`] and
+//! `--spec <file>` loads one from the deterministic `key = value` format
+//! (mutually exclusive; default: the `expected` paper design point). The
+//! spec is validated at load time and rides on the [`ExperimentContext`],
+//! so every experiment — and every report's scenario header — sees the
+//! same machine.
 
 use crate::registry;
-use qla_core::{DynExperiment, Executor, ExperimentContext};
+use qla_core::{DynExperiment, Executor, ExperimentContext, MachineSpec};
 use qla_report::{Format, Report};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
@@ -43,6 +50,10 @@ pub struct CliArgs {
     /// Worker threads for sweep evaluation; `None` means "consult
     /// [`JOBS_ENV`], else run sequentially".
     pub jobs: Option<usize>,
+    /// Built-in profile selected with `--profile`.
+    pub profile: Option<String>,
+    /// Spec file selected with `--spec`.
+    pub spec_path: Option<PathBuf>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
 }
@@ -55,6 +66,8 @@ impl Default for CliArgs {
             format: Format::Text,
             out_dir: None,
             jobs: None,
+            profile: None,
+            spec_path: None,
             positional: Vec::new(),
         }
     }
@@ -93,6 +106,14 @@ impl CliArgs {
                     let v = iter.next().ok_or("--jobs needs a value")?;
                     parsed.jobs = Some(parse_jobs("--jobs", &v)?);
                 }
+                "--profile" => {
+                    let v = iter.next().ok_or("--profile needs a value")?;
+                    parsed.profile = Some(v);
+                }
+                "--spec" => {
+                    let v = iter.next().ok_or("--spec needs a value")?;
+                    parsed.spec_path = Some(PathBuf::from(v));
+                }
                 // Historical ablation flags: the ablations are now always
                 // included in the reports, so these are accepted and ignored.
                 "--serial" | "--sweep-bandwidth" | "--ballistic-baseline" => {}
@@ -122,20 +143,58 @@ impl CliArgs {
     }
 
     /// The execution context for an experiment with the given default trial
-    /// budget (sequential; see [`Self::parallel_context`]).
+    /// budget (sequential, at the default `expected` scenario; see
+    /// [`Self::parallel_context`] for the fully resolved form).
     #[must_use]
     pub fn context(&self, default_trials: usize) -> ExperimentContext {
         ExperimentContext::new(self.trials.unwrap_or(default_trials), self.seed)
     }
 
     /// [`Self::context`] carrying the executor selected by `--jobs` /
-    /// [`JOBS_ENV`].
+    /// [`JOBS_ENV`] and the machine scenario selected by
+    /// `--profile`/`--spec`.
     ///
     /// # Errors
-    /// Returns a message when the environment variable is set but is not a
-    /// positive integer.
+    /// Returns a message when the jobs environment variable is malformed,
+    /// the profile is unknown, or the spec file is unreadable or invalid.
     pub fn parallel_context(&self, default_trials: usize) -> Result<ExperimentContext, String> {
-        Ok(self.context(default_trials).with_executor(self.executor()?))
+        Ok(self
+            .context(default_trials)
+            .with_executor(self.executor()?)
+            .with_spec(self.scenario()?))
+    }
+
+    /// The machine scenario selected by `--profile` / `--spec`, validated;
+    /// the `expected` paper design point when neither is given.
+    ///
+    /// # Errors
+    /// Returns a message for an unknown profile name (listing the
+    /// built-ins), an unreadable spec file, a parse failure (naming the
+    /// offending line/key), or a spec that fails validation — a scenario
+    /// problem surfaces before any experiment runs, never three artefacts
+    /// into a `run-all`.
+    pub fn scenario(&self) -> Result<MachineSpec, String> {
+        let spec = match (&self.profile, &self.spec_path) {
+            (Some(_), Some(_)) => {
+                return Err("--profile and --spec are mutually exclusive".to_string())
+            }
+            (Some(name), None) => MachineSpec::builtin(name).ok_or_else(|| {
+                format!(
+                    "unknown profile '{name}'; built-ins: {}",
+                    qla_core::BUILTIN_PROFILES.join(", ")
+                )
+            })?,
+            (None, Some(path)) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read spec {}: {e}", path.display()))?;
+                MachineSpec::parse(&text)
+                    .map_err(|e| format!("invalid spec {}: {e}", path.display()))?
+            }
+            (None, None) => MachineSpec::expected(),
+        };
+        spec.validate()
+            .map_err(|e| format!("spec '{}' failed validation: {e}", spec.name))?;
+        Ok(spec)
     }
 
     /// The executor selected by `--jobs`, falling back to [`JOBS_ENV`] and
@@ -247,6 +306,7 @@ pub fn run_experiments(
     args: &CliArgs,
 ) -> Result<RunAllOutcome, String> {
     let executor = args.executor()?;
+    let spec = args.scenario()?;
     let total = experiments.len();
     let mut outcome = RunAllOutcome::default();
     for (i, experiment) in experiments.into_iter().enumerate() {
@@ -254,7 +314,8 @@ pub fn run_experiments(
         eprintln!("[{}/{total}] {name}", i + 1);
         let ctx = args
             .context(experiment.default_trials())
-            .with_executor(executor);
+            .with_executor(executor)
+            .with_spec(spec.clone());
         match std::panic::catch_unwind(AssertUnwindSafe(|| experiment.run_report(&ctx))) {
             Ok(report) => match emit(&report, args) {
                 Ok(()) => {
@@ -396,6 +457,93 @@ mod tests {
     }
 
     #[test]
+    fn profile_and_spec_flags_parse_and_resolve() {
+        let args = parse(&["--profile", "current"]).unwrap();
+        assert_eq!(args.profile.as_deref(), Some("current"));
+        assert_eq!(args.scenario().unwrap().name, "current");
+
+        // Default: the paper design point.
+        assert_eq!(parse(&[]).unwrap().scenario().unwrap().name, "expected");
+
+        // Unknown profiles fail loudly and list the built-ins.
+        let err = parse(&["--profile", "nope"])
+            .unwrap()
+            .scenario()
+            .unwrap_err();
+        assert!(err.contains("unknown profile 'nope'"), "{err}");
+        assert!(err.contains("relaxed-speed"), "{err}");
+
+        // --profile and --spec together are ambiguous.
+        let err = parse(&["--profile", "current", "--spec", "x.spec"])
+            .unwrap()
+            .scenario()
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        // A missing spec file is a load error, not a silent default.
+        let err = parse(&["--spec", "/no/such/file.spec"])
+            .unwrap()
+            .scenario()
+            .unwrap_err();
+        assert!(err.contains("cannot read spec"), "{err}");
+
+        assert!(parse(&["--profile"]).unwrap_err().contains("--profile"));
+        assert!(parse(&["--spec"]).unwrap_err().contains("--spec"));
+    }
+
+    #[test]
+    fn spec_files_load_and_validate_through_the_cli() {
+        let dir = std::env::temp_dir().join("qla-bench-cli-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A rendered built-in loads back identically.
+        let good = dir.join("good.spec");
+        std::fs::write(&good, qla_core::MachineSpec::relaxed_speed().render()).unwrap();
+        let args = CliArgs {
+            spec_path: Some(good),
+            ..CliArgs::default()
+        };
+        assert_eq!(
+            args.scenario().unwrap(),
+            qla_core::MachineSpec::relaxed_speed()
+        );
+
+        // A parse error names the offending key.
+        let bad = dir.join("bad.spec");
+        let mut text = qla_core::MachineSpec::expected().render();
+        text.push_str("frobnicate = 1\n");
+        std::fs::write(&bad, text).unwrap();
+        let args = CliArgs {
+            spec_path: Some(bad),
+            ..CliArgs::default()
+        };
+        let err = args.scenario().unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+
+        // A well-formed but invalid spec fails validation at load time.
+        let invalid = dir.join("invalid.spec");
+        let text = qla_core::MachineSpec::expected()
+            .render()
+            .replace("recursion_level = 2", "recursion_level = 9");
+        std::fs::write(&invalid, text).unwrap();
+        let args = CliArgs {
+            spec_path: Some(invalid),
+            ..CliArgs::default()
+        };
+        let err = args.scenario().unwrap_err();
+        assert!(err.contains("failed validation"), "{err}");
+        assert!(err.contains("recursion level 9"), "{err}");
+    }
+
+    #[test]
+    fn parallel_context_carries_the_selected_scenario() {
+        let args = parse(&["--profile", "relaxed-failures", "--trials", "3"]).unwrap();
+        let ctx = args.parallel_context(99).unwrap();
+        assert_eq!(ctx.spec.name, "relaxed-failures");
+        assert_eq!(ctx.trials, 3);
+    }
+
+    #[test]
     fn jobs_flag_parses_and_rejects_nonsense() {
         assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, Some(4));
         assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, Some(1));
@@ -448,6 +596,9 @@ mod tests {
         fn default_trials(&self) -> usize {
             1
         }
+        fn spec_fields(&self) -> &'static [&'static str] {
+            &[]
+        }
         fn run_report(&self, _ctx: &ExperimentContext) -> Report {
             panic!("detonated as designed");
         }
@@ -468,6 +619,9 @@ mod tests {
         }
         fn default_trials(&self) -> usize {
             1
+        }
+        fn spec_fields(&self) -> &'static [&'static str] {
+            &[]
         }
         fn run_report(&self, _ctx: &ExperimentContext) -> Report {
             let mut r =

@@ -2,7 +2,7 @@
 //! (~100 M qubits/s) and accumulated movement error vs channel length.
 
 use qla_core::{Experiment, ExperimentContext};
-use qla_physical::{BallisticChannel, TechnologyParams};
+use qla_physical::BallisticChannel;
 use qla_report::{row, Column, Report};
 use serde::Serialize;
 
@@ -52,9 +52,12 @@ impl Experiment for ChannelBandwidth {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &["tech.time.*", "tech.fail.move_per_cell"]
+    }
 
-    fn run(&self, _ctx: &ExperimentContext) -> ChannelOutput {
-        let tech = TechnologyParams::expected();
+    fn run(&self, ctx: &ExperimentContext) -> ChannelOutput {
+        let tech = ctx.spec.tech;
         let rows = CHANNEL_LENGTHS
             .iter()
             .map(|&cells| {

@@ -54,9 +54,12 @@ impl Experiment for EccLatency {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &["tech.time.*"]
+    }
 
-    fn run(&self, _ctx: &ExperimentContext) -> EccLatencyOutput {
-        let model = EccLatencyModel::expected();
+    fn run(&self, ctx: &ExperimentContext) -> EccLatencyOutput {
+        let model = EccLatencyModel::new(ctx.spec.tech, ScheduleShape::default());
         let (r1, r2) = EccLatencyModel::paper_nontrivial_rates();
         let rows = (1..=3u32)
             .map(|level| {

@@ -2,9 +2,10 @@
 //! error-correction steps to wall-clock hours for factoring a 128-bit
 //! number, plus the physical scale of the machine that runs it.
 
-use qla_core::{Experiment, ExperimentContext, MachineBuilder};
+use crate::experiments::table2_shor::spec_estimator;
+use qla_core::{Experiment, ExperimentContext};
 use qla_report::{row, Column, Report, Value};
-use qla_shor::{classical_mips_years, ShorEstimator, ShorResources};
+use qla_shor::{classical_mips_years, ShorResources};
 use serde::Serialize;
 
 /// The 128-bit factorisation walk-through (deterministic).
@@ -38,13 +39,20 @@ impl Experiment for Factor128Walkthrough {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &["ecc", "recursion_level", "tech.time.*", "tech.cell_size_um"]
+    }
 
-    fn run(&self, _ctx: &ExperimentContext) -> Factor128Output {
-        let resources = ShorEstimator::default().estimate(128);
-        let machine = MachineBuilder::new()
+    fn run(&self, ctx: &ExperimentContext) -> Factor128Output {
+        let resources = spec_estimator(ctx).estimate(128);
+        // The machine takes the spec's design point but is sized for the
+        // workload, not for the spec's default qubit count.
+        let machine = ctx
+            .spec
+            .builder()
             .logical_qubits(resources.logical_qubits as usize)
             .build()
-            .expect("paper design point is valid");
+            .expect("spec validated at load time");
         Factor128Output {
             resources,
             physical_ion_sites: machine.physical_ion_sites(),

@@ -1,20 +1,17 @@
 //! Figure 7: logical gate failure vs component failure rate, levels 1 and 2,
 //! plus the empirical threshold (the crossing point, (2.1 ± 1.8)e-3 in the
 //! paper).
+//!
+//! The swept component rates, the geometric threshold-scan bounds, and the
+//! per-gate movement error all come from the active
+//! [`MachineSpec`](qla_core::MachineSpec): the default `expected` profile
+//! carries the paper's grid, and a `--profile`/`--spec` change re-runs the
+//! whole sweep under different technology assumptions without touching
+//! source.
 
 use qla_core::{Experiment, ExperimentContext, ThresholdExperiment, ThresholdPoint};
 use qla_report::{row, Column, Report};
 use serde::Serialize;
-
-/// The component failure rates the sweep evaluates: the paper's ~1e-3 to
-/// 2.5e-3 band extended so both the helping and hurting regimes are visible.
-pub const SWEEP_RATES: [f64; 12] = [
-    5e-4, 7.5e-4, 1.0e-3, 1.25e-3, 1.5e-3, 1.75e-3, 2.0e-3, 2.25e-3, 2.5e-3, 4e-3, 8e-3, 1.6e-2,
-];
-
-/// Movement error per transversal two-qubit gate, fixed at the expected
-/// technology value while the component error is swept (as in the paper).
-pub const MOVEMENT_ERROR: f64 = 1.2e-5;
 
 /// The Figure 7 Monte-Carlo threshold experiment.
 pub struct Fig7Threshold;
@@ -43,19 +40,34 @@ impl Experiment for Fig7Threshold {
     fn default_trials(&self) -> usize {
         40_000
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &[
+            "tech.fail.move_per_cell",
+            "sweep.component_rates",
+            "sweep.threshold_scan_lo",
+            "sweep.threshold_scan_hi",
+            "sweep.threshold_scan_points",
+        ]
+    }
 
     fn run(&self, ctx: &ExperimentContext) -> Fig7Output {
+        let spec = &ctx.spec;
         let experiment = ThresholdExperiment {
             trials: ctx.trials,
             seed: ctx.seed,
-            movement_error: MOVEMENT_ERROR,
+            movement_error: spec.movement_error(),
         };
         // Both sweeps route through the context's executor; every point is
         // seeded from its own rate, so the output is byte-identical at any
         // thread count (pinned by the parallel-determinism tests).
         Fig7Output {
-            points: experiment.sweep_with(&SWEEP_RATES, &ctx.executor),
-            empirical_threshold: experiment.estimate_threshold_with(3e-4, 3e-2, 14, &ctx.executor),
+            points: experiment.sweep_with(&spec.sweep.component_rates, &ctx.executor),
+            empirical_threshold: experiment.estimate_threshold_with(
+                spec.sweep.threshold_scan_lo,
+                spec.sweep.threshold_scan_hi,
+                spec.sweep.threshold_scan_points,
+                &ctx.executor,
+            ),
         }
     }
 
@@ -63,7 +75,7 @@ impl Experiment for Fig7Threshold {
         let mut r = Report::new(Experiment::name(self), self.title())
             .with_param("trials", ctx.trials)
             .with_param("seed", ctx.seed)
-            .with_param("movement_error", MOVEMENT_ERROR)
+            .with_param("movement_error", ctx.spec.movement_error())
             .with_columns([
                 Column::new("physical p"),
                 Column::new("level-1 rate"),

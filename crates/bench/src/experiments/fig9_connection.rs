@@ -4,16 +4,13 @@
 
 use qla_core::{Experiment, ExperimentContext};
 use qla_layout::BallisticRoute;
-use qla_network::{plan_connection, InterconnectParams, FIGURE9_SEPARATIONS};
-use qla_physical::TechnologyParams;
+use qla_network::{plan_connection, FIGURE9_SEPARATIONS};
 use qla_report::{Column, Report, Value};
 use serde::Serialize;
 
-/// The distances (cells) the table sweeps.
-const DISTANCE_STEP: usize = 2_000;
-const DISTANCE_MAX: usize = 30_000;
-
 /// The Figure 9 connection-time experiment (deterministic; ignores trials).
+/// The swept distances and the interconnect calibration come from the
+/// active machine spec.
 pub struct Fig9Connection;
 
 /// One row: a distance, the connection time per island separation (`None`
@@ -55,15 +52,25 @@ impl Experiment for Fig9Connection {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &[
+            "interconnect.*",
+            "tech.time.*",
+            "sweep.distance_step_cells",
+            "sweep.distance_max_cells",
+        ]
+    }
 
     fn run(&self, ctx: &ExperimentContext) -> Fig9Output {
-        let params = InterconnectParams::paper_calibrated();
-        let tech = TechnologyParams::expected();
+        let params = ctx.spec.interconnect_params();
+        let tech = ctx.spec.tech;
+        let step = ctx.spec.sweep.distance_step_cells;
+        let count = ctx.spec.sweep.distance_max_cells / step;
         // Each swept distance is planned independently, so the context's
         // executor may evaluate the rows concurrently; index order keeps
         // the table sorted by distance.
-        let rows = ctx.executor.map_indices(DISTANCE_MAX / DISTANCE_STEP, |i| {
-            let distance = (i + 1) * DISTANCE_STEP;
+        let rows = ctx.executor.map_indices(count, |i| {
+            let distance = (i + 1) * step;
             let times_ms = FIGURE9_SEPARATIONS
                 .iter()
                 .map(|&d| {

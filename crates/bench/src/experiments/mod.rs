@@ -1,10 +1,13 @@
-//! The nine paper artefacts as [`Experiment`](qla_core::Experiment)
-//! implementations.
+//! The nine paper artefacts — plus the Section 6 scenario matrix — as
+//! [`Experiment`](qla_core::Experiment) implementations.
 //!
 //! Each module holds one experiment: a unit struct implementing
 //! `Experiment`, a `Serialize`-able typed output, and the projection of that
-//! output into a [`qla_report::Report`]. Adding a new artefact is ~30 lines
-//! of the same shape plus one line in [`crate::registry`].
+//! output into a [`qla_report::Report`]. Every experiment receives its
+//! machine through the context's [`MachineSpec`](qla_core::MachineSpec)
+//! (never by constructing one ad hoc), so `--profile`/`--spec` reaches all
+//! of them uniformly. Adding a new artefact is ~30 lines of the same shape
+//! plus one line in [`crate::registry`].
 
 pub mod channel_bandwidth;
 pub mod ecc_latency;
@@ -13,6 +16,7 @@ pub mod fig7_threshold;
 pub mod fig9_connection;
 pub mod recursion_analysis;
 pub mod scheduler_utilization;
+pub mod sensitivity;
 pub mod table1;
 pub mod table2_shor;
 
@@ -23,5 +27,6 @@ pub use fig7_threshold::Fig7Threshold;
 pub use fig9_connection::Fig9Connection;
 pub use recursion_analysis::RecursionAnalysis;
 pub use scheduler_utilization::SchedulerUtilization;
+pub use sensitivity::Sensitivity;
 pub use table1::Table1;
 pub use table2_shor::Table2Shor;

@@ -30,7 +30,8 @@ pub struct RecursionRow {
 /// Typed output of the analysis.
 #[derive(Debug, Clone, Serialize)]
 pub struct RecursionOutput {
-    /// Levels 1..=4.
+    /// One row per recursion level, 1 through the active spec's
+    /// `sweep.max_recursion_level` (the paper tabulates 1..=4).
     pub rows: Vec<RecursionRow>,
     /// The recursion level Shor-1024 requires (None if above threshold).
     pub required_level_shor1024: Option<u32>,
@@ -59,14 +60,28 @@ impl Experiment for RecursionAnalysis {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &["tech.fail.*", "sweep.max_recursion_level"]
+    }
 
     fn run(&self, ctx: &ExperimentContext) -> RecursionOutput {
-        let theory = ThresholdAnalysis::paper_design_point();
-        let empirical = ThresholdAnalysis::empirical_design_point();
+        // The analysis runs at the active profile's component failure rate;
+        // the threshold and block-communication distance stay at the
+        // paper's Eq. 2 calibration.
+        let p0 = ctx.spec.tech.failures.mean_component_rate();
+        let theory = ThresholdAnalysis {
+            p0,
+            ..ThresholdAnalysis::paper_design_point()
+        };
+        let empirical = ThresholdAnalysis {
+            p0,
+            ..ThresholdAnalysis::empirical_design_point()
+        };
+        let max_level = ctx.spec.sweep.max_recursion_level;
         // Each level's row is independent of the others, so the executor
         // may evaluate them concurrently; index order keeps the table
         // sorted by level.
-        let rows = ctx.executor.map_indices(4, |i| {
+        let rows = ctx.executor.map_indices(max_level as usize, |i| {
             let level = i as u32 + 1;
             let code = ConcatenatedSteane::new(level);
             RecursionRow {
@@ -80,7 +95,7 @@ impl Experiment for RecursionAnalysis {
         });
         RecursionOutput {
             rows,
-            required_level_shor1024: theory.required_level(SHOR_1024_STEPS, 4),
+            required_level_shor1024: theory.required_level(SHOR_1024_STEPS, max_level),
             p0: theory.p0,
             r: theory.r,
             pth_theory: theory.pth,

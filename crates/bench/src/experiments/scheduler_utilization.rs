@@ -3,24 +3,18 @@
 //! point is bandwidth 2; the old `--sweep-bandwidth` ablation is always
 //! included).
 
-use qla_core::{Experiment, ExperimentContext, MachineBuilder};
+use qla_core::{Experiment, ExperimentContext};
 use qla_report::{row, Column, Report};
 use qla_sched::{random_toffoli_sites, schedule_toffoli_traffic, Mesh};
 use serde::Serialize;
 
-/// Channel bandwidths the study sweeps (design point first).
-pub const BANDWIDTHS: [usize; 4] = [1, 2, 4, 8];
-
-/// Concurrent Toffoli batch sizes.
-pub const TOFFOLI_COUNTS: [usize; 3] = [4, 16, 48];
-
-/// Logical qubits of the studied chip neighbourhood (a 20×20 tile grid).
-pub const NEIGHBOURHOOD_QUBITS: usize = 400;
-
 /// Windows the scheduler may spill into.
 const WINDOWS_ALLOWED: usize = 4;
 
-/// The greedy EPR-scheduler study.
+/// The greedy EPR-scheduler study. The studied chip neighbourhood, the
+/// swept bandwidths, and the Toffoli batch sizes come from the active
+/// machine spec (the `expected` profile carries the paper's 400-qubit
+/// neighbourhood and the 1/2/4/8 × 4/16/48 grid).
 pub struct SchedulerUtilization;
 
 /// One (bandwidth, batch size) cell of the study.
@@ -65,24 +59,32 @@ impl Experiment for SchedulerUtilization {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &[
+            "logical_qubits",
+            "interconnect.*",
+            "sweep.bandwidths",
+            "sweep.toffoli_counts",
+        ]
+    }
 
     fn run(&self, ctx: &ExperimentContext) -> SchedulerOutput {
-        // The machine supplies the per-window channel capacity, derived from
-        // its interconnect parameters (once a hard-coded 70).
-        let machine = MachineBuilder::new()
-            .logical_qubits(NEIGHBOURHOOD_QUBITS)
-            .build()
-            .expect("paper design point is valid");
+        // The machine comes from the active spec and supplies the
+        // per-window channel capacity, derived from its interconnect
+        // parameters (once a hard-coded 70).
+        let machine = ctx.machine();
         let pairs_per_window = machine.epr_pairs_per_ecc_window();
+        let bandwidths = &ctx.spec.sweep.bandwidths;
+        let toffoli_counts = &ctx.spec.sweep.toffoli_counts;
 
         // Every (bandwidth, batch) cell draws its workload from an
         // independent derived seed, so cells can be evaluated concurrently
         // by the context's executor (or re-run singly) reproducibly; index
         // order keeps the row order of the sequential nested loop.
-        let cells = BANDWIDTHS.len() * TOFFOLI_COUNTS.len();
+        let cells = bandwidths.len() * toffoli_counts.len();
         let rows = ctx.executor.map_indices(cells, |cell| {
-            let (i, j) = (cell / TOFFOLI_COUNTS.len(), cell % TOFFOLI_COUNTS.len());
-            let (bandwidth, toffolis) = (BANDWIDTHS[i], TOFFOLI_COUNTS[j]);
+            let (i, j) = (cell / toffoli_counts.len(), cell % toffoli_counts.len());
+            let (bandwidth, toffolis) = (bandwidths[i], toffoli_counts[j]);
             let mesh = Mesh::from_floorplan(&machine.floorplan, bandwidth)
                 .with_pairs_per_window(pairs_per_window);
             let mut rng = ctx.rng_for_point(cell as u64);

@@ -2,7 +2,7 @@
 //! technology (current vs expected).
 
 use qla_core::{Experiment, ExperimentContext};
-use qla_physical::{FailureRates, OperationTimes, TechnologyParams};
+use qla_physical::{FailureRates, OperationTimes};
 use qla_report::{row, Column, Report};
 use serde::Serialize;
 
@@ -52,8 +52,14 @@ impl Experiment for Table1 {
     fn default_trials(&self) -> usize {
         1
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &["tech.cell_size_um", "tech.fail.*"]
+    }
 
-    fn run(&self, _ctx: &ExperimentContext) -> Table1Output {
+    fn run(&self, ctx: &ExperimentContext) -> Table1Output {
+        // The published current/expected columns ARE the artefact; only the
+        // cell geometry (and the active-profile note in the report) follow
+        // the spec.
         let times = OperationTimes::table1();
         let current = FailureRates::current();
         let expected = FailureRates::expected();
@@ -101,7 +107,7 @@ impl Experiment for Table1 {
                 p_expected: None,
             },
         ];
-        let tech = TechnologyParams::expected();
+        let tech = ctx.spec.tech;
         Table1Output {
             rows,
             p0: expected.mean_component_rate(),
@@ -110,7 +116,7 @@ impl Experiment for Table1 {
         }
     }
 
-    fn report(&self, _ctx: &ExperimentContext, output: &Table1Output) -> Report {
+    fn report(&self, ctx: &ExperimentContext, output: &Table1Output) -> Report {
         let mut r = Report::new(Experiment::name(self), self.title()).with_columns([
             Column::new("operation"),
             Column::new("time"),
@@ -132,6 +138,11 @@ impl Experiment for Table1 {
         r.push_note(format!(
             "cell pitch {} um -> cell area {:.1e} m^2",
             output.cell_size_um, output.cell_area_m2
+        ));
+        r.push_note(format!(
+            "active profile '{}': mean component rate p0 = {:.3e}",
+            ctx.spec.name,
+            ctx.spec.tech.failures.mean_component_rate()
         ));
         r
     }

@@ -6,7 +6,10 @@
 //!
 //! ```text
 //! cargo run --release -p qla-bench -- list
+//! cargo run --release -p qla-bench -- describe fig7-threshold
+//! cargo run --release -p qla-bench -- profiles
 //! cargo run --release -p qla-bench -- run fig7-threshold --trials 5000 --format json
+//! cargo run --release -p qla-bench -- run table2-shor --profile current
 //! cargo run --release -p qla-bench -- run-all --format csv --out-dir reports
 //! cargo run --release -p qla-bench -- run-all --jobs 4 --format json --out-dir reports
 //! ```
@@ -15,7 +18,9 @@
 //! on the scoped thread pool in `qla_core::executor`; reports are
 //! byte-identical at every job count, and `run-all` isolates per-experiment
 //! panics, finishing the rest of the registry before exiting non-zero with
-//! a failure summary.
+//! a failure summary. `--profile <name>` / `--spec <file>` select the
+//! machine scenario ([`qla_core::MachineSpec`]) every experiment receives;
+//! the resulting reports carry a scenario header naming it.
 //!
 //! | experiment | paper artefact |
 //! |---|---|
@@ -28,6 +33,7 @@
 //! | `scheduler-utilization` | §5 — EPR scheduler bandwidth utilisation |
 //! | `table2-shor` | Table 2 — Shor system numbers |
 //! | `factor128-walkthrough` | §5 — the 128-bit factorisation walk-through |
+//! | `sensitivity` | §6 — scenario matrix across the built-in profiles |
 //!
 //! The historical per-artefact binaries in `src/bin/` still exist as thin
 //! shims over the same registry (`cargo run -p qla-bench --bin

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! qla-bench list
-//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--format text|json|csv] [--out-dir DIR]
-//! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench describe <experiment>
+//! qla-bench profiles [<name>]
+//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
 //! ```
 //!
 //! Every experiment is resolved through `qla_bench::registry`; rendering
@@ -11,19 +13,27 @@
 //! emits the same machine-readable document CI archives as a build
 //! artefact. `--jobs N` (default `QLA_JOBS`, else 1) evaluates sweep
 //! points on N threads without changing a single output byte — the CI
-//! determinism job diffs `--jobs 1` against `--jobs 4` report trees.
+//! determinism job diffs `--jobs 1` against `--jobs 4` report trees per
+//! profile. `--profile <name>` selects a built-in machine scenario,
+//! `--spec <file>` loads one from the deterministic `key = value` format
+//! (`qla-bench profiles <name>` prints a ready-to-edit starting point).
 
 use qla_bench::cli::{self, CliArgs};
 use qla_bench::registry;
+use qla_core::MachineSpec;
 
 const USAGE: &str = "usage:
   qla-bench list
-  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--format text|json|csv] [--out-dir DIR]
-  qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--format text|json|csv] [--out-dir DIR]
+  qla-bench describe <experiment>
+  qla-bench profiles [<name>]
+  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
 
 --jobs N evaluates sweep points on N threads ('auto' sizes to the machine;
 default: $QLA_JOBS, else 1); output is byte-identical at every job count.
-run `qla-bench list` to see the registered experiments.";
+--profile selects a built-in machine scenario (see `qla-bench profiles`);
+--spec loads one from a key = value file (`qla-bench profiles <name>` prints
+a template). run `qla-bench list` to see the registered experiments.";
 
 fn main() {
     let args = match CliArgs::parse(std::env::args().skip(1)) {
@@ -34,6 +44,20 @@ fn main() {
         Some("list") => {
             expect_positionals(&args, 1);
             list();
+        }
+        Some("describe") => {
+            let Some(name) = args.positional.get(1) else {
+                fail("describe needs an experiment name; try `qla-bench list`");
+            };
+            expect_positionals(&args, 2);
+            describe(name);
+        }
+        Some("profiles") => {
+            expect_positionals(&args, 2);
+            match args.positional.get(1) {
+                Some(name) => render_profile(name),
+                None => profiles(),
+            }
         }
         Some("run") => {
             let Some(name) = args.positional.get(1) else {
@@ -76,6 +100,47 @@ fn list() {
         );
     }
     println!("\nrun one with `qla-bench run <name>`, or all with `qla-bench run-all`.");
+}
+
+fn describe(name: &str) {
+    let Some(info) = registry::info(name) else {
+        fail(&format!(
+            "unknown experiment '{name}'; available: {}",
+            registry::names().join(", ")
+        ));
+    };
+    println!("{}", info.name);
+    println!("  title:          {}", info.title);
+    println!("  description:    {}", info.description);
+    println!("  default trials: {}", info.default_trials);
+    if info.spec_fields.is_empty() {
+        println!("  spec fields:    (none - output does not vary with the active spec)");
+    } else {
+        println!("  spec fields:    {}", info.spec_fields.join(", "));
+    }
+    println!("\nrun it with `qla-bench run {name}`; change the machine with --profile/--spec.");
+}
+
+fn profiles() {
+    println!("built-in machine profiles:\n");
+    for spec in MachineSpec::builtins() {
+        println!("  {:<18} {}", spec.name, spec.description);
+        println!("  {:<18} {}", "", spec.scenario().summary);
+    }
+    println!(
+        "\nselect one with `--profile <name>`; print a spec-file template with \
+         `qla-bench profiles <name>` and load edits with `--spec <file>`."
+    );
+}
+
+fn render_profile(name: &str) {
+    let Some(spec) = MachineSpec::builtin(name) else {
+        fail(&format!(
+            "unknown profile '{name}'; built-ins: {}",
+            qla_core::BUILTIN_PROFILES.join(", ")
+        ));
+    };
+    print!("{}", spec.render());
 }
 
 fn run_all(args: &CliArgs) {

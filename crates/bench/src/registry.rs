@@ -2,17 +2,18 @@
 //!
 //! The `qla-bench` CLI (and the legacy shim binaries) resolve experiments
 //! exclusively through this registry, so registering an experiment here is
-//! the one step that makes a new analysis runnable, listable, and part of
-//! `run-all`.
+//! the one step that makes a new analysis runnable, listable, describable,
+//! and part of `run-all`.
 
 use crate::experiments::{
     ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
-    RecursionAnalysis, SchedulerUtilization, Table1, Table2Shor,
+    RecursionAnalysis, SchedulerUtilization, Sensitivity, Table1, Table2Shor,
 };
 use qla_core::DynExperiment;
 
 /// Every registered experiment, in the order the paper presents the
-/// artefacts.
+/// artefacts (the cross-profile sensitivity matrix closes the list, like
+/// Section 6 closes the paper).
 #[must_use]
 pub fn registry() -> Vec<Box<dyn DynExperiment>> {
     vec![
@@ -25,6 +26,7 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(SchedulerUtilization),
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
+        Box::new(Sensitivity),
     ]
 }
 
@@ -40,13 +42,44 @@ pub fn find(name: &str) -> Option<Box<dyn DynExperiment>> {
     registry().into_iter().find(|e| e.name() == name)
 }
 
+/// The descriptive metadata of one registry entry — what `qla-bench
+/// describe <name>` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentInfo {
+    /// Stable registry name.
+    pub name: &'static str,
+    /// Human-readable title naming the paper artefact.
+    pub title: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Trial budget used when `--trials` is not given.
+    pub default_trials: usize,
+    /// The machine-spec fields the experiment is sensitive to (spec text
+    /// format keys; a trailing `*` names a group). Empty for experiments
+    /// that only read fixed paper constants (or, for `sensitivity`, span
+    /// every built-in profile regardless of the active spec).
+    pub spec_fields: &'static [&'static str],
+}
+
+/// The metadata of one registry entry, by name.
+#[must_use]
+pub fn info(name: &str) -> Option<ExperimentInfo> {
+    find(name).map(|e| ExperimentInfo {
+        name: e.name(),
+        title: e.title(),
+        description: e.description(),
+        default_trials: e.default_trials(),
+        spec_fields: e.spec_fields(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn at_least_eight_experiments_are_registered() {
-        assert!(registry().len() >= 8, "registry: {:?}", names());
+    fn at_least_ten_experiments_are_registered() {
+        assert!(registry().len() >= 10, "registry: {:?}", names());
     }
 
     #[test]
@@ -73,6 +106,42 @@ mod tests {
             assert!(!e.title().is_empty(), "{}", e.name());
             assert!(!e.description().is_empty(), "{}", e.name());
             assert!(e.default_trials() > 0, "{}", e.name());
+        }
+    }
+
+    #[test]
+    fn info_mirrors_the_registry_entry() {
+        let fig7 = info("fig7-threshold").expect("registered");
+        assert_eq!(fig7.name, "fig7-threshold");
+        assert_eq!(fig7.default_trials, 40_000);
+        assert!(
+            fig7.spec_fields.contains(&"sweep.component_rates"),
+            "{:?}",
+            fig7.spec_fields
+        );
+        assert!(info("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn spec_fields_name_real_spec_keys() {
+        // Every advertised sensitivity must be a key (or `group.*` prefix)
+        // of the spec text format, so `describe` never points at a field a
+        // scenario author cannot actually set.
+        let rendered = qla_core::MachineSpec::expected().render();
+        let keys: Vec<&str> = rendered
+            .lines()
+            .filter_map(|line| line.split_once('='))
+            .map(|(key, _)| key.trim())
+            .collect();
+        for e in registry() {
+            for field in e.spec_fields() {
+                let matches = if let Some(prefix) = field.strip_suffix(".*") {
+                    keys.iter().any(|k| k.starts_with(&format!("{prefix}.")))
+                } else {
+                    keys.contains(field)
+                };
+                assert!(matches, "{}: '{field}' is not a spec key", e.name());
+            }
         }
     }
 }

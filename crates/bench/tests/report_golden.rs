@@ -1,27 +1,49 @@
 //! Golden/snapshot tests for the report layer: the JSON and text renderings
-//! of registered experiments are pinned byte-for-byte, and the whole
-//! registry runs end-to-end at tiny trial counts.
+//! of registered experiments are pinned byte-for-byte (including the
+//! scenario-metadata header every runner-produced report now carries), and
+//! the whole registry runs end-to-end at tiny trial counts.
 //!
-//! Regenerate the golden files after an intentional output change with:
+//! # Regenerating the goldens
+//!
+//! After an intentional output change, the **single** regeneration command
+//! is:
 //!
 //! ```text
-//! cargo run -p qla-bench -- run table1             --format json --out-dir crates/bench/tests/golden
-//! cargo run -p qla-bench -- run table1             --format text --out-dir crates/bench/tests/golden
-//! cargo run -p qla-bench -- run recursion-analysis --format json --out-dir crates/bench/tests/golden
-//! cargo run -p qla-bench -- run recursion-analysis --format text --out-dir crates/bench/tests/golden
-//! cargo run --release -p qla-bench -- run fig7-threshold --trials 400 --format json --out-dir crates/bench/tests/golden
-//! cargo run --release -p qla-bench -- run fig7-threshold --trials 400 --format text --out-dir crates/bench/tests/golden
+//! UPDATE_GOLDEN=1 cargo test -p qla-bench --test report_golden
 //! ```
+//!
+//! which rewrites every fixture under `crates/bench/tests/golden/` in place
+//! (the spec-format golden in `crates/core/tests/` honours the same
+//! variable). Re-run the tests without the variable afterwards and commit
+//! the diff — review it like code: every changed byte must be explained by
+//! the change you made.
 
 use qla_bench::experiments::Fig7Threshold;
 use qla_bench::registry;
 use qla_core::{Executor, ExperimentContext, Runner};
 use qla_report::Format;
+use std::path::Path;
 
 /// The default CLI seed (`qla_bench::cli::DEFAULT_SEED`), hard-coded here so
 /// a drive-by change to the default breaks a test instead of silently
 /// re-baselining the goldens.
 const GOLDEN_SEED: u64 = 2005;
+
+/// Assert `actual` matches the committed fixture, or rewrite the fixture
+/// when `UPDATE_GOLDEN` is set (the documented regeneration path).
+fn assert_golden(fixture: &str, actual: &str, golden: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(fixture);
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("rewrite {fixture}: {e}"));
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "{fixture} drifted; regenerate with UPDATE_GOLDEN=1 cargo test -p qla-bench --test report_golden"
+    );
+}
 
 fn render(name: &str, trials: usize, seed: u64, format: Format) -> String {
     let experiment = registry::find(name).unwrap_or_else(|| panic!("{name} not registered"));
@@ -34,13 +56,15 @@ fn table1_json_and_text_are_byte_stable() {
     let e = registry::find("table1").unwrap();
     let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
     let report = e.run_report(&ctx);
-    assert_eq!(
-        report.render(Format::Json),
-        include_str!("golden/table1.json")
+    assert_golden(
+        "table1.json",
+        &report.render(Format::Json),
+        include_str!("golden/table1.json"),
     );
-    assert_eq!(
-        report.render(Format::Text),
-        include_str!("golden/table1.txt")
+    assert_golden(
+        "table1.txt",
+        &report.render(Format::Text),
+        include_str!("golden/table1.txt"),
     );
 }
 
@@ -49,13 +73,15 @@ fn recursion_analysis_json_and_text_are_byte_stable() {
     let e = registry::find("recursion-analysis").unwrap();
     let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
     let report = e.run_report(&ctx);
-    assert_eq!(
-        report.render(Format::Json),
-        include_str!("golden/recursion-analysis.json")
+    assert_golden(
+        "recursion-analysis.json",
+        &report.render(Format::Json),
+        include_str!("golden/recursion-analysis.json"),
     );
-    assert_eq!(
-        report.render(Format::Text),
-        include_str!("golden/recursion-analysis.txt")
+    assert_golden(
+        "recursion-analysis.txt",
+        &report.render(Format::Text),
+        include_str!("golden/recursion-analysis.txt"),
     );
 }
 
@@ -66,31 +92,61 @@ const FIG7_GOLDEN_TRIALS: usize = 400;
 
 #[test]
 fn fig7_threshold_json_and_text_are_byte_stable() {
-    // The sweep rows are safe to pin anywhere: the swept rates are
-    // literals and the measured rates are exact ratios (failures /
+    // The sweep rows are safe to pin anywhere: the swept rates are the
+    // spec's literals and the measured rates are exact ratios (failures /
     // trials). The empirical-threshold note is the one caveat — its scan
     // rates go through `f64::powf`, which is not correctly rounded, so the
     // fixture is pinned for the x86_64-linux toolchain CI runs on;
-    // regenerate it (commands in the module doc) if another platform's
+    // regenerate it (command in the module doc) if another platform's
     // libm ever disagrees.
-    assert_eq!(
-        render(
+    assert_golden(
+        "fig7-threshold.json",
+        &render(
             "fig7-threshold",
             FIG7_GOLDEN_TRIALS,
             GOLDEN_SEED,
-            Format::Json
+            Format::Json,
         ),
-        include_str!("golden/fig7-threshold.json")
+        include_str!("golden/fig7-threshold.json"),
     );
-    assert_eq!(
-        render(
+    assert_golden(
+        "fig7-threshold.txt",
+        &render(
             "fig7-threshold",
             FIG7_GOLDEN_TRIALS,
             GOLDEN_SEED,
-            Format::Text
+            Format::Text,
         ),
-        include_str!("golden/fig7-threshold.txt")
+        include_str!("golden/fig7-threshold.txt"),
     );
+}
+
+#[test]
+fn every_report_carries_the_scenario_header() {
+    // The scenario metadata is part of the report contract: every
+    // registry-produced report names the profile it ran under, in the
+    // typed value and in both structured renderings.
+    for experiment in registry::registry() {
+        let ctx = ExperimentContext::new(2, GOLDEN_SEED);
+        let report = experiment.run_report(&ctx);
+        let scenario = report
+            .scenario
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no scenario", experiment.name()));
+        assert_eq!(scenario.profile, "expected", "{}", experiment.name());
+        assert!(
+            report
+                .render(Format::Json)
+                .contains("\"scenario\": {\"profile\": \"expected\""),
+            "{}",
+            experiment.name()
+        );
+        assert!(
+            report.render(Format::Text).contains("scenario: expected ("),
+            "{}",
+            experiment.name()
+        );
+    }
 }
 
 #[test]
@@ -114,7 +170,7 @@ fn every_registry_entry_is_parallel_deterministic() {
     for experiment in registry::registry() {
         let ctx = ExperimentContext::new(20, GOLDEN_SEED);
         let sequential = experiment.run_report(&ctx);
-        let parallel = experiment.run_report(&ctx.with_jobs(4));
+        let parallel = experiment.run_report(&ctx.clone().with_jobs(4));
         assert_eq!(
             parallel,
             sequential,

@@ -189,10 +189,9 @@ impl MachineBuilder {
                 max_supported: EccLatencies::MAX_LEVEL,
             });
         }
-        let interconnect = self.interconnect.unwrap_or_else(|| InterconnectParams {
-            tech: self.tech,
-            ..InterconnectParams::paper_calibrated()
-        });
+        let interconnect = self
+            .interconnect
+            .unwrap_or_else(|| InterconnectParams::for_tech(self.tech));
         Ok(QlaMachine {
             config: MachineConfig {
                 tech: self.tech,

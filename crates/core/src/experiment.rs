@@ -13,12 +13,14 @@
 //! without a rayon dependency.
 
 use crate::executor::Executor;
+use crate::machine::QlaMachine;
+use crate::spec::MachineSpec;
 use qla_report::Report;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
 /// Shared run parameters every experiment receives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentContext {
     /// Monte-Carlo trial budget (per data point, for experiments that
     /// sample; deterministic experiments ignore it).
@@ -28,21 +30,29 @@ pub struct ExperimentContext {
     /// [`Self::rng_for_point`]).
     pub seed: u64,
     /// How sweep points are evaluated. **Must not affect any output**: an
-    /// experiment's result is a function of `(trials, seed)` alone, and the
-    /// executor only changes how fast that result is computed. The golden
-    /// and CI determinism tests enforce this byte-for-byte.
+    /// experiment's result is a function of `(trials, seed, spec)` alone,
+    /// and the executor only changes how fast that result is computed. The
+    /// golden and CI determinism tests enforce this byte-for-byte.
     pub executor: Executor,
+    /// The machine scenario under evaluation. Experiments build their
+    /// machine with [`Self::machine`] and derive their sweep grids from
+    /// [`MachineSpec::sweep`] — never from private constants — so a
+    /// `--profile`/`--spec` change reaches every registered experiment.
+    pub spec: MachineSpec,
 }
 
 impl ExperimentContext {
     /// A context with the given trial budget and seed, evaluated
-    /// sequentially (attach a thread pool with [`Self::with_executor`]).
+    /// sequentially under the `expected` (paper design point) profile.
+    /// Attach a thread pool with [`Self::with_executor`] and a different
+    /// scenario with [`Self::with_spec`].
     #[must_use]
     pub fn new(trials: usize, seed: u64) -> Self {
         ExperimentContext {
             trials,
             seed,
             executor: Executor::Sequential,
+            spec: MachineSpec::expected(),
         }
     }
 
@@ -86,6 +96,29 @@ impl ExperimentContext {
     pub fn with_jobs(self, jobs: usize) -> Self {
         self.with_executor(Executor::from_jobs(jobs))
     }
+
+    /// This context under a different machine scenario.
+    #[must_use]
+    pub fn with_spec(self, spec: MachineSpec) -> Self {
+        ExperimentContext { spec, ..self }
+    }
+
+    /// The machine at the active scenario's design point.
+    ///
+    /// # Panics
+    /// Panics when the spec is invalid. The CLI validates specs at load
+    /// time (and every built-in profile is valid), so reaching this panic
+    /// means a hand-constructed spec skipped
+    /// [`MachineSpec::validate`](crate::spec::MachineSpec::validate).
+    #[must_use]
+    pub fn machine(&self) -> QlaMachine {
+        self.spec.machine().unwrap_or_else(|e| {
+            panic!(
+                "machine spec '{}' is invalid: {e}; validate specs before running experiments",
+                self.spec.name
+            )
+        })
+    }
 }
 
 /// A reproducible evaluation producing one typed output and one [`Report`].
@@ -113,11 +146,35 @@ pub trait Experiment {
         10_000
     }
 
+    /// The [`MachineSpec`] fields this experiment is sensitive to, as the
+    /// keys of the spec text format (a trailing `*` names a whole group,
+    /// e.g. `tech.fail.*`). Purely descriptive — surfaced by
+    /// `qla-bench describe` so a scenario author knows which experiments a
+    /// field change will move.
+    fn spec_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Execute the experiment.
     fn run(&self, ctx: &ExperimentContext) -> Self::Output;
 
-    /// Project an output into the canonical report.
+    /// Project an output into the canonical report (without the scenario
+    /// header — the runner attaches that uniformly, see
+    /// [`DynExperiment::run_report`]).
     fn report(&self, ctx: &ExperimentContext, output: &Self::Output) -> Report;
+}
+
+/// [`Experiment::report`] plus the scenario header: the one projection the
+/// runner, the registry driver and the golden tests all share, so every
+/// rendered report names the profile it ran under.
+fn annotated_report<E: Experiment + ?Sized>(
+    experiment: &E,
+    ctx: &ExperimentContext,
+    output: &E::Output,
+) -> Report {
+    experiment
+        .report(ctx, output)
+        .with_scenario(ctx.spec.scenario())
 }
 
 /// Object-safe view of an [`Experiment`], for registries and CLI drivers
@@ -131,7 +188,11 @@ pub trait DynExperiment {
     fn description(&self) -> &'static str;
     /// Default trial budget.
     fn default_trials(&self) -> usize;
-    /// Run and project in one step.
+    /// Spec fields the experiment is sensitive to (see
+    /// [`Experiment::spec_fields`]).
+    fn spec_fields(&self) -> &'static [&'static str];
+    /// Run and project in one step. The report carries the context's
+    /// scenario header.
     fn run_report(&self, ctx: &ExperimentContext) -> Report;
 }
 
@@ -148,14 +209,17 @@ impl<E: Experiment> DynExperiment for E {
     fn default_trials(&self) -> usize {
         Experiment::default_trials(self)
     }
+    fn spec_fields(&self) -> &'static [&'static str] {
+        Experiment::spec_fields(self)
+    }
     fn run_report(&self, ctx: &ExperimentContext) -> Report {
         let output = self.run(ctx);
-        self.report(ctx, &output)
+        annotated_report(self, ctx, &output)
     }
 }
 
 /// Deterministic executor for experiments and sweeps.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Runner {
     /// The context every execution receives.
     pub ctx: ExperimentContext,
@@ -173,10 +237,11 @@ impl Runner {
         experiment.run(&self.ctx)
     }
 
-    /// Run one experiment and project it into its report.
+    /// Run one experiment and project it into its report (carrying the
+    /// context's scenario header, like [`DynExperiment::run_report`]).
     pub fn report<E: Experiment>(&self, experiment: &E) -> Report {
         let output = experiment.run(&self.ctx);
-        experiment.report(&self.ctx, &output)
+        annotated_report(experiment, &self.ctx, &output)
     }
 
     /// Run one experiment under a specific execution strategy, returning
@@ -188,16 +253,16 @@ impl Runner {
     /// [`Runner::run`] for every thread count — parallelism is a pure
     /// speed-up, never a result change.
     pub fn run_parallel<E: Experiment>(&self, experiment: &E, executor: Executor) -> E::Output {
-        experiment.run(&self.ctx.with_executor(executor))
+        experiment.run(&self.ctx.clone().with_executor(executor))
     }
 
     /// Run one experiment under a specific execution strategy and project
     /// it into its report. Byte-identical to [`Runner::report`] for every
     /// thread count.
     pub fn report_parallel<E: Experiment>(&self, experiment: &E, executor: Executor) -> Report {
-        let ctx = self.ctx.with_executor(executor);
+        let ctx = self.ctx.clone().with_executor(executor);
         let output = experiment.run(&ctx);
-        experiment.report(&ctx, &output)
+        annotated_report(experiment, &ctx, &output)
     }
 
     /// Evaluate `f` over every sweep point with an independently seeded
@@ -244,13 +309,14 @@ impl Runner {
     /// The derived context sweep point `i` is evaluated under: the master
     /// seed is replaced by `derived_seed(i)`, and the executor is reset to
     /// sequential so a parallel sweep never oversubscribes by nesting
-    /// thread pools.
+    /// thread pools. The machine spec carries over unchanged.
     #[must_use]
     fn point_context(&self, index: usize) -> ExperimentContext {
         ExperimentContext {
             trials: self.ctx.trials,
             seed: self.ctx.derived_seed(index as u64),
             executor: Executor::Sequential,
+            spec: self.ctx.spec.clone(),
         }
     }
 }
@@ -287,7 +353,7 @@ mod tests {
 
         fn run(&self, ctx: &ExperimentContext) -> MeanOutput {
             use rand::Rng;
-            let runner = Runner::new(*ctx);
+            let runner = Runner::new(ctx.clone());
             let means = runner.sweep_parallel(&[0u8, 1, 2], |point_ctx, _| {
                 let mut rng = point_ctx.rng_for_point(0);
                 let sum: f64 = (0..point_ctx.trials).map(|_| rng.random::<f64>()).sum();
@@ -339,10 +405,22 @@ mod tests {
     #[test]
     fn runner_report_equals_dyn_run_report() {
         let ctx = ExperimentContext::new(16, 5);
-        let direct = Runner::new(ctx).report(&MeanDraw);
+        let direct = Runner::new(ctx.clone()).report(&MeanDraw);
         let dynamic = (&MeanDraw as &dyn DynExperiment).run_report(&ctx);
         assert_eq!(direct, dynamic);
         assert_eq!(direct.rows.len(), 3);
+    }
+
+    #[test]
+    fn reports_carry_the_scenario_of_the_active_spec() {
+        let ctx = ExperimentContext::new(8, 1);
+        let report = (&MeanDraw as &dyn DynExperiment).run_report(&ctx);
+        let scenario = report.scenario.expect("runner attaches the scenario");
+        assert_eq!(scenario.profile, "expected");
+
+        let current = ctx.with_spec(crate::spec::MachineSpec::current());
+        let report = (&MeanDraw as &dyn DynExperiment).run_report(&current);
+        assert_eq!(report.scenario.unwrap().profile, "current");
     }
 
     #[test]

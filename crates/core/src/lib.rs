@@ -18,6 +18,10 @@
 //!   (`Sequential`/`Threads(n)`) scoped thread pool the `Runner` routes
 //!   parallel sweeps through, with results reassembled in index order so
 //!   parallel output is byte-identical to sequential.
+//! * [`spec`] — the Scenario API: [`MachineSpec`], the named machine
+//!   profiles (`expected`, `current`, the Section 6 relaxations) and the
+//!   deterministic `key = value` text format behind `--profile`/`--spec`;
+//!   the active spec rides on every [`ExperimentContext`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@ pub mod executor;
 pub mod experiment;
 pub mod machine;
 pub mod montecarlo;
+pub mod spec;
 
 pub use arq::{Arq, ArqError, ArqRun};
 pub use builder::{MachineBuildError, MachineBuilder};
@@ -35,3 +40,4 @@ pub use executor::Executor;
 pub use experiment::{DynExperiment, Experiment, ExperimentContext, Runner};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};
+pub use spec::{EccMode, InterconnectSpec, MachineSpec, SpecError, SweepSpec, BUILTIN_PROFILES};

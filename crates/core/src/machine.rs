@@ -53,15 +53,20 @@ impl QlaMachine {
     /// Build a machine with capacity for at least `logical_qubits` logical
     /// qubits using the default (paper design-point) configuration.
     ///
-    /// For any other design point use [`QlaMachine::builder`], which
-    /// validates the configuration before assembling the machine.
+    /// Delegates to [`QlaMachine::builder`] so the builder's invariants
+    /// hold for every construction path — this used to assemble the struct
+    /// directly, which let `logical_qubits == 0` (and any later drift in
+    /// the default configuration) bypass validation entirely.
+    ///
+    /// # Panics
+    /// Panics if `logical_qubits` is zero; use [`QlaMachine::builder`] to
+    /// handle the error instead of panicking.
     #[must_use]
     pub fn with_logical_qubits(logical_qubits: usize) -> Self {
-        QlaMachine {
-            config: MachineConfig::default(),
-            floorplan: Floorplan::for_qubit_count(logical_qubits),
-            interconnect: InterconnectParams::paper_calibrated(),
-        }
+        QlaMachine::builder()
+            .logical_qubits(logical_qubits)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid design point: {e}"))
     }
 
     /// A fluent, validating [`MachineBuilder`](crate::MachineBuilder) at the
@@ -261,6 +266,15 @@ mod tests {
         );
         let pairs = m.epr_pairs_per_ecc_window();
         assert!((35..150).contains(&pairs), "pairs per window: {pairs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one logical qubit")]
+    fn with_logical_qubits_routes_through_the_builder_checks() {
+        // The legacy constructor used to poke fields directly, letting a
+        // zero-qubit machine through silently; it now shares the builder's
+        // validation.
+        let _ = QlaMachine::with_logical_qubits(0);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Round-trip and golden tests for the machine-spec text format.
+//!
+//! `parse(render(spec)) == spec` must hold for every built-in profile and
+//! for randomized mutations of them, and the rendered `expected` profile is
+//! byte-pinned by a committed golden so the format itself cannot drift
+//! silently (a drifted format would orphan every spec file users have
+//! written). Regenerate the golden together with the report fixtures:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qla-bench --test report_golden
+//! UPDATE_GOLDEN=1 cargo test -p qla-core  --test spec_roundtrip
+//! ```
+
+use qla_core::{EccMode, MachineSpec, BUILTIN_PROFILES};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+
+#[test]
+fn every_builtin_round_trips_byte_stably() {
+    for name in BUILTIN_PROFILES {
+        let spec = MachineSpec::builtin(name).unwrap();
+        let rendered = spec.render();
+        let parsed = MachineSpec::parse(&rendered).unwrap();
+        assert_eq!(parsed, spec, "{name}: value round-trip");
+        assert_eq!(parsed.render(), rendered, "{name}: byte round-trip");
+    }
+}
+
+#[test]
+fn rendered_expected_profile_matches_the_committed_golden() {
+    let actual = MachineSpec::expected().render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/expected.spec");
+        std::fs::write(path, &actual).expect("rewrite expected.spec");
+        return;
+    }
+    assert_eq!(
+        actual,
+        include_str!("golden/expected.spec"),
+        "the spec text format drifted; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p qla-core --test spec_roundtrip \
+         and bump format_version if existing files stop parsing"
+    );
+}
+
+/// Property-style randomized round-trip: mutate every numeric field of a
+/// built-in through seeded draws (including awkward magnitudes from 1e-12
+/// up) and require exact value round-trips. Rust's shortest-representation
+/// float formatting guarantees re-parsing yields identical bits; this test
+/// is what keeps that assumption honest if the renderer ever changes.
+#[test]
+fn randomized_specs_round_trip_exactly() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_5BEC);
+    for case in 0..200u32 {
+        let mut spec =
+            MachineSpec::builtin(BUILTIN_PROFILES[case as usize % BUILTIN_PROFILES.len()]).unwrap();
+
+        let rate = |rng: &mut ChaCha8Rng| -> f64 {
+            let exponent = rng.random_range(-12.0..0.0);
+            10f64.powf(exponent)
+        };
+
+        spec.name = format!("fuzz-{case}");
+        spec.description = format!("randomized case {case}");
+        spec.logical_qubits = rng.random_range(1..100_000);
+        spec.recursion_level = rng.random_range(1..=2);
+        spec.bandwidth = rng.random_range(1..64);
+        spec.ecc = if rng.random::<bool>() {
+            EccMode::Paper
+        } else {
+            EccMode::Structural
+        };
+        spec.tech.cell_size_um = rng.random_range(1.0..100.0);
+        spec.tech.failures.single_gate = rate(&mut rng);
+        spec.tech.failures.double_gate = rate(&mut rng);
+        spec.tech.failures.measure = rate(&mut rng);
+        spec.tech.failures.move_per_cell = rate(&mut rng);
+        spec.tech.failures.move_per_um = rate(&mut rng);
+        spec.interconnect.creation_fidelity = rng.random_range(0.9..1.0);
+        spec.interconnect.per_cell_error = rate(&mut rng);
+        spec.sweep.component_rates = (0..rng.random_range(1..20))
+            .map(|_| rate(&mut rng))
+            .collect();
+        spec.sweep.threshold_scan_points = rng.random_range(2..40);
+        spec.sweep.bandwidths = (0..rng.random_range(1..6))
+            .map(|_| rng.random_range(1..32))
+            .collect();
+
+        let rendered = spec.render();
+        let parsed = MachineSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("case {case} failed to parse: {e}\n{rendered}"));
+        assert_eq!(parsed, spec, "case {case} did not round-trip");
+    }
+}

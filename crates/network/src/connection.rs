@@ -79,6 +79,19 @@ impl InterconnectParams {
         }
     }
 
+    /// The Figure 9 calibration with its technology swapped for `tech` —
+    /// the profile constructor `MachineBuilder` and the machine specs use,
+    /// so an interconnect's distribution/teleport operation costs always
+    /// track the machine's technology instead of silently staying at the
+    /// paper's expected parameters.
+    #[must_use]
+    pub fn for_tech(tech: TechnologyParams) -> Self {
+        InterconnectParams {
+            tech,
+            ..InterconnectParams::paper_calibrated()
+        }
+    }
+
     /// Per-pair service time of a pipelined EPR channel whose endpoints sit
     /// `separation_cells` apart: the wall-clock cost of producing one
     /// *purified, delivered* pair once the pipeline is full.
@@ -274,6 +287,21 @@ mod tests {
 
     fn params() -> InterconnectParams {
         InterconnectParams::paper_calibrated()
+    }
+
+    #[test]
+    fn for_tech_keeps_the_calibration_but_swaps_the_technology() {
+        let tech = TechnologyParams::relaxed_speed();
+        let p = InterconnectParams::for_tech(tech);
+        assert_eq!(p.tech, tech);
+        assert_eq!(
+            p.epr_source,
+            InterconnectParams::paper_calibrated().epr_source
+        );
+        // Slower gates/measures make every purified pair slower to produce.
+        assert!(
+            p.pair_service_time(21) > InterconnectParams::paper_calibrated().pair_service_time(21)
+        );
     }
 
     #[test]

@@ -249,6 +249,18 @@ impl EccLatencies {
         }
     }
 
+    /// Latencies derived from the structural Equation 1 model for `tech`
+    /// with the default schedule shape — the profile constructor machine
+    /// specs use when their technology differs from the paper's (the
+    /// published constants only describe the Table 1 operation times).
+    #[must_use]
+    pub fn structural_for(tech: TechnologyParams) -> Self {
+        EccLatencies::from_model(&EccLatencyModel {
+            tech,
+            shape: ScheduleShape::default(),
+        })
+    }
+
     /// Latencies computed from the structural model with the given
     /// technology.
     #[must_use]
@@ -356,6 +368,21 @@ mod tests {
         let ratio2 = ours.level2.as_secs() / paper.level2.as_secs();
         assert!(ratio1 > 0.2 && ratio1 < 5.0, "level-1 ratio {ratio1}");
         assert!(ratio2 > 0.2 && ratio2 < 5.0, "level-2 ratio {ratio2}");
+    }
+
+    #[test]
+    fn structural_for_matches_from_model_with_default_shape() {
+        let tech = TechnologyParams::expected();
+        assert_eq!(
+            EccLatencies::structural_for(tech),
+            EccLatencies::from_model(&EccLatencyModel {
+                tech,
+                shape: ScheduleShape::default()
+            })
+        );
+        // Slower technology must surface as slower structural latencies.
+        let slow = EccLatencies::structural_for(TechnologyParams::relaxed_speed());
+        assert!(slow.level2 > EccLatencies::structural_for(tech).level2);
     }
 
     #[test]

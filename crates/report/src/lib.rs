@@ -26,5 +26,5 @@ pub mod report;
 pub mod value;
 
 pub use render::{render_csv, render_json, render_text};
-pub use report::{Column, Format, FormatParseError, Report};
+pub use report::{Column, Format, FormatParseError, Report, Scenario};
 pub use value::Value;

@@ -13,6 +13,12 @@ pub fn render_text(report: &Report) -> String {
     let mut out = String::new();
     out.push_str(&report.title);
     out.push('\n');
+    if let Some(scenario) = &report.scenario {
+        out.push_str(&format!(
+            "scenario: {} ({})\n",
+            scenario.profile, scenario.summary
+        ));
+    }
     if !report.params.is_empty() {
         let params: Vec<String> = report
             .params
@@ -65,13 +71,21 @@ pub fn render_text(report: &Report) -> String {
 }
 
 /// Render the report as pretty-printed JSON with a fixed key order
-/// (`name`, `title`, `params`, `columns`, `rows`, `notes`).
+/// (`name`, `title`, `scenario`, `params`, `columns`, `rows`, `notes`).
 #[must_use]
 pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"name\": {},\n", json_escape(&report.name)));
     out.push_str(&format!("  \"title\": {},\n", json_escape(&report.title)));
+    match &report.scenario {
+        Some(scenario) => out.push_str(&format!(
+            "  \"scenario\": {{\"profile\": {}, \"summary\": {}}},\n",
+            json_escape(&scenario.profile),
+            json_escape(&scenario.summary)
+        )),
+        None => out.push_str("  \"scenario\": null,\n"),
+    }
 
     out.push_str("  \"params\": {");
     let params: Vec<String> = report
@@ -194,6 +208,33 @@ mod tests {
         assert!(name_at < rows_at && rows_at < notes_at);
         assert!(json.contains("[2, null]"));
         assert!(json.contains("\\\"quote\\\""));
+    }
+
+    #[test]
+    fn scenario_header_renders_in_text_and_json_but_not_csv() {
+        let r = sample().with_scenario(crate::Scenario {
+            profile: "expected".to_string(),
+            summary: "recursion_level=2 bandwidth=2".to_string(),
+        });
+        let text = crate::render_text(&r);
+        assert!(text.contains("scenario: expected (recursion_level=2 bandwidth=2)"));
+        // The header sits between the title and the params line.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("scenario: "));
+        assert!(lines[2].starts_with('['));
+
+        let json = crate::render_json(&r);
+        assert!(json.contains("\"scenario\": {\"profile\": \"expected\""));
+        let title_at = json.find("\"title\"").unwrap();
+        let scenario_at = json.find("\"scenario\"").unwrap();
+        let params_at = json.find("\"params\"").unwrap();
+        assert!(title_at < scenario_at && scenario_at < params_at);
+
+        // A scenario-less report renders an explicit null, keeping the JSON
+        // shape fixed.
+        assert!(crate::render_json(&sample()).contains("\"scenario\": null"));
+        // CSV carries data rows only, like params and notes.
+        assert!(!crate::render_csv(&r).contains("expected"));
     }
 
     #[test]

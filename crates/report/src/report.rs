@@ -41,6 +41,23 @@ impl Column {
     }
 }
 
+/// The machine scenario a report was produced under: which named profile
+/// (or spec file) supplied the technology, recursion level, bandwidth and
+/// sweep grids.
+///
+/// Reports produced through the experiment runner always carry one, so a
+/// rendered artefact is self-describing — two `fig7-threshold.json` files
+/// from different profiles can never be confused for one another.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Profile name (`expected`, `current`, …) or the name a spec file
+    /// declares.
+    pub profile: String,
+    /// Short deterministic fingerprint of the design point (recursion
+    /// level, bandwidth, qubit count, ECC source, p0).
+    pub summary: String,
+}
+
 /// A typed experiment result: the canonical output of every registered
 /// experiment, renderable as text, JSON, or CSV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,6 +66,9 @@ pub struct Report {
     pub name: String,
     /// Human-readable title naming the paper artefact.
     pub title: String,
+    /// The machine scenario this report was produced under, if any
+    /// (reports built through the experiment runner always set it).
+    pub scenario: Option<Scenario>,
     /// Named run parameters (trials, seed, design-point knobs), in insertion
     /// order.
     pub params: Vec<(String, Value)>,
@@ -74,11 +94,21 @@ impl Report {
         Report {
             name: name.into(),
             title: title.into(),
+            scenario: None,
             params: Vec::new(),
             columns: Vec::new(),
             rows: Vec::new(),
             notes: Vec::new(),
         }
+    }
+
+    /// Attach the scenario header (builder style). The experiment runner
+    /// calls this with the active machine spec's scenario, so every report
+    /// it produces names the profile it ran under.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
     }
 
     /// Append a named parameter (builder style).
