@@ -1,0 +1,88 @@
+//! Criterion bench: raw event throughput of the `qla-sim` discrete-event
+//! engine at three mesh sizes.
+//!
+//! The engine is the substrate every future congestion/scaling scenario
+//! lands on, so its events-per-second trajectory matters the way the
+//! tableau and scheduler benches do. Each case replays the same seeded
+//! bursty Toffoli stream (load 2 gates/window over 8 windows, burst 2)
+//! through meshes of 8×8, 16×16 and 24×24 tiles at the design-point
+//! clocks; the harness prints the per-run event count next to the timings
+//! so events/sec is one division away. CI uploads this output next to the
+//! JSON report artefacts, so sim-engine performance is visible per commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_core::MachineSpec;
+use qla_sched::Mesh;
+use qla_sim::{simulate, toffoli_arrivals, toffoli_work_items, TrafficParams, WorkItem};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Windows of offered traffic per case.
+const HORIZON_WINDOWS: usize = 8;
+
+/// Offered load, Toffoli gates per window.
+const OFFERED_LOAD: f64 = 2.0;
+
+fn design_point() -> (qla_sim::SimConfig, usize) {
+    let spec = MachineSpec::expected();
+    let machine = spec.machine().expect("expected profile builds");
+    let cfg = qla_sim::SimConfig {
+        window: qla_sim::SimTime::from_time(machine.ecc_window()),
+        pair_service: qla_sim::SimTime::from_time(machine.epr_pair_service_time()),
+        pairs_per_window: machine.epr_pairs_per_ecc_window(),
+        channels_per_edge: 2 * machine.config.bandwidth,
+        max_in_flight: 64,
+        ancilla_capacity: 12,
+        ancilla_prep: qla_sim::SimTime::from_time(machine.ecc_window()),
+        measure: None,
+    };
+    (cfg, machine.config.bandwidth)
+}
+
+fn workload(mesh: &Mesh, cfg: &qla_sim::SimConfig) -> Vec<WorkItem> {
+    let mut rng = ChaCha8Rng::seed_from_u64(2005);
+    let arrivals = toffoli_arrivals(
+        mesh,
+        HORIZON_WINDOWS,
+        &TrafficParams {
+            offered_load: OFFERED_LOAD,
+            burst_factor: 2.0,
+            window: cfg.window,
+        },
+        &mut rng,
+    );
+    toffoli_work_items(mesh, &arrivals)
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_event_loop");
+    group.sample_size(10);
+    let (cfg, bandwidth) = design_point();
+    for side in [8usize, 16, 24] {
+        let mesh = Mesh::new(side, side, bandwidth).with_pairs_per_window(cfg.pairs_per_window);
+        let items = workload(&mesh, &cfg);
+        // One reference run: the event count this case processes (printed
+        // so the uploaded bench log carries events-per-iteration context),
+        // and a determinism guard — the bench must never drift the result.
+        let reference = simulate(&mesh, &cfg, &items);
+        assert!(reference.events > 0);
+        assert_eq!(reference, simulate(&mesh, &cfg, &items));
+        println!(
+            "sim_event_loop/mesh {side}x{side}: {} work items, {} events per run",
+            items.len(),
+            reference.events
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mesh", format!("{side}x{side}")),
+            &(&mesh, &items),
+            |b, (mesh, items)| {
+                b.iter(|| black_box(simulate(black_box(mesh), black_box(&cfg), black_box(items))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

@@ -87,8 +87,9 @@ impl CliArgs {
             match arg.as_str() {
                 "--trials" => {
                     let v = iter.next().ok_or("--trials needs a value")?;
-                    parsed.trials =
-                        Some(v.parse().map_err(|_| format!("bad --trials value '{v}'"))?);
+                    let trials: usize =
+                        v.parse().map_err(|_| format!("bad --trials value '{v}'"))?;
+                    parsed.trials = Some(check_trials(trials)?);
                 }
                 "--seed" => {
                     let v = iter.next().ok_or("--seed needs a value")?;
@@ -132,7 +133,7 @@ impl CliArgs {
                                  use --trials N exactly once"
                             ));
                         }
-                        parsed.trials = Some(trials);
+                        parsed.trials = Some(check_trials(trials)?);
                     } else {
                         parsed.positional.push(positional.to_string());
                     }
@@ -223,6 +224,22 @@ pub fn resolve_jobs(flag: Option<usize>, env: Option<&str>) -> Result<usize, Str
         (None, Some(value)) => parse_jobs(JOBS_ENV, value),
         (None, None) => Ok(1),
     }
+}
+
+/// Reject a zero trial budget loudly. A Monte-Carlo experiment with zero
+/// trials would silently produce all-zero rates (0 failures out of 0), and
+/// downstream consumers could mistake the hole for a measurement — so
+/// `--trials 0` (and the bare-integer form `qla-bench run <x> 0`) is a
+/// usage error, not a degenerate run.
+fn check_trials(trials: usize) -> Result<usize, String> {
+    if trials == 0 {
+        return Err(
+            "--trials must be at least 1 (got 0): zero trials would render all-zero \
+             rates indistinguishable from real measurements"
+                .to_string(),
+        );
+    }
+    Ok(trials)
 }
 
 /// Parse a job count from `source` (a flag name or environment variable).
@@ -541,6 +558,24 @@ mod tests {
         let ctx = args.parallel_context(99).unwrap();
         assert_eq!(ctx.spec.name, "relaxed-failures");
         assert_eq!(ctx.trials, 3);
+    }
+
+    #[test]
+    fn zero_trials_and_zero_jobs_are_rejected_loudly() {
+        // `--trials 0` used to flow straight into the experiments, which
+        // would happily report 0-failure-out-of-0 rates; `--jobs 0` has no
+        // meaningful executor. Both are usage errors, in every spelling.
+        let err = parse(&["--trials", "0"]).unwrap_err();
+        assert!(err.contains("--trials must be at least 1"), "{err}");
+        // The historical bare-integer trial count gets the same treatment.
+        let err = parse(&["run", "fig7-threshold", "0"]).unwrap_err();
+        assert!(err.contains("--trials must be at least 1"), "{err}");
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("must be at least 1"), "{err}");
+        assert!(resolve_jobs(None, Some("0")).is_err());
+        // The boundary values stay accepted.
+        assert_eq!(parse(&["--trials", "1"]).unwrap().trials, Some(1));
+        assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, Some(1));
     }
 
     #[test]

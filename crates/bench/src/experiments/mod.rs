@@ -1,4 +1,5 @@
-//! The nine paper artefacts — plus the Section 6 scenario matrix — as
+//! The nine paper artefacts — plus the Section 6 scenario matrix and the
+//! `qla-sim` discrete-event studies — as
 //! [`Experiment`](qla_core::Experiment) implementations.
 //!
 //! Each module holds one experiment: a unit struct implementing
@@ -7,7 +8,9 @@
 //! machine through the context's [`MachineSpec`](qla_core::MachineSpec)
 //! (never by constructing one ad hoc), so `--profile`/`--spec` reaches all
 //! of them uniformly. Adding a new artefact is ~30 lines of the same shape
-//! plus one line in [`crate::registry`].
+//! plus one line in [`crate::registry`]. The simulation experiments share
+//! their machine-to-engine wiring through [`sim_support`], so the simulated
+//! and analytic models always quantise EPR delivery identically.
 
 pub mod channel_bandwidth;
 pub mod ecc_latency;
@@ -17,6 +20,10 @@ pub mod fig9_connection;
 pub mod recursion_analysis;
 pub mod scheduler_utilization;
 pub mod sensitivity;
+pub mod sim_offered_load;
+pub mod sim_support;
+pub mod sim_tail_latency;
+pub mod sim_vs_analytic;
 pub mod table1;
 pub mod table2_shor;
 
@@ -28,5 +35,16 @@ pub use fig9_connection::Fig9Connection;
 pub use recursion_analysis::RecursionAnalysis;
 pub use scheduler_utilization::SchedulerUtilization;
 pub use sensitivity::Sensitivity;
+pub use sim_offered_load::SimOfferedLoad;
+pub use sim_tail_latency::SimTailLatency;
+pub use sim_vs_analytic::SimVsAnalytic;
 pub use table1::Table1;
 pub use table2_shor::Table2Shor;
+
+/// Two-decimal rounding for rendered table cells (typed outputs keep full
+/// precision). One shared helper so the reports' rendered precision cannot
+/// drift apart experiment by experiment.
+#[must_use]
+pub(crate) fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}

@@ -3,6 +3,7 @@
 //! point is bandwidth 2; the old `--sweep-bandwidth` ablation is always
 //! included).
 
+use crate::experiments::round2;
 use qla_core::{Experiment, ExperimentContext};
 use qla_report::{row, Column, Report};
 use qla_sched::{random_toffoli_sites, schedule_toffoli_traffic, Mesh};
@@ -125,7 +126,7 @@ impl Experiment for SchedulerUtilization {
                 row.windows_used,
                 // Rounded for the table; the typed output keeps full
                 // precision.
-                (row.utilization_percent * 100.0).round() / 100.0,
+                round2(row.utilization_percent),
                 row.overlaps_with_ecc
             ]);
         }

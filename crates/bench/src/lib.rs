@@ -31,6 +31,9 @@
 //! | `fig7-threshold` | Figure 7 — logical failure vs component failure |
 //! | `fig9-connection` | Figure 9 — island separation vs connection time |
 //! | `scheduler-utilization` | §5 — EPR scheduler bandwidth utilisation |
+//! | `sim-offered-load` | discrete-event sim — utilisation/queueing delay vs offered Toffoli load |
+//! | `sim-tail-latency` | discrete-event sim — sojourn-time distribution at the bandwidth-2 design point |
+//! | `sim-vs-analytic` | discrete-event sim — window-count cross-validation against the greedy scheduler |
 //! | `table2-shor` | Table 2 — Shor system numbers |
 //! | `factor128-walkthrough` | §5 — the 128-bit factorisation walk-through |
 //! | `sensitivity` | §6 — scenario matrix across the built-in profiles |

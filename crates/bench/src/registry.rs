@@ -7,13 +7,15 @@
 
 use crate::experiments::{
     ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
-    RecursionAnalysis, SchedulerUtilization, Sensitivity, Table1, Table2Shor,
+    RecursionAnalysis, SchedulerUtilization, Sensitivity, SimOfferedLoad, SimTailLatency,
+    SimVsAnalytic, Table1, Table2Shor,
 };
 use qla_core::DynExperiment;
 
 /// Every registered experiment, in the order the paper presents the
-/// artefacts (the cross-profile sensitivity matrix closes the list, like
-/// Section 6 closes the paper).
+/// artefacts. The discrete-event simulation studies follow the analytic
+/// scheduler study they generalise, and the cross-profile sensitivity
+/// matrix closes the list, like Section 6 closes the paper.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn DynExperiment>> {
     vec![
@@ -24,6 +26,9 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(Fig7Threshold),
         Box::new(Fig9Connection),
         Box::new(SchedulerUtilization),
+        Box::new(SimOfferedLoad),
+        Box::new(SimTailLatency),
+        Box::new(SimVsAnalytic),
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
         Box::new(Sensitivity),

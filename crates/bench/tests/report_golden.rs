@@ -122,6 +122,47 @@ fn fig7_threshold_json_and_text_are_byte_stable() {
 }
 
 #[test]
+fn sim_vs_analytic_json_and_text_are_byte_stable() {
+    // Pure integer-time discrete-event simulation plus the greedy
+    // scheduler: no RNG, no libm — these bytes are stable on every
+    // platform, not just the CI toolchain.
+    let e = registry::find("sim-vs-analytic").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "sim-vs-analytic.json",
+        &report.render(Format::Json),
+        include_str!("golden/sim-vs-analytic.json"),
+    );
+    assert_golden(
+        "sim-vs-analytic.txt",
+        &report.render(Format::Text),
+        include_str!("golden/sim-vs-analytic.txt"),
+    );
+}
+
+#[test]
+fn sim_offered_load_json_and_text_are_byte_stable() {
+    // The arrival streams use only multiply/add arithmetic on ChaCha8
+    // draws (no transcendental functions), and the engine runs on integer
+    // nanoseconds, so the fixture is platform-stable like the sim-vs-
+    // analytic one.
+    let e = registry::find("sim-offered-load").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "sim-offered-load.json",
+        &report.render(Format::Json),
+        include_str!("golden/sim-offered-load.json"),
+    );
+    assert_golden(
+        "sim-offered-load.txt",
+        &report.render(Format::Text),
+        include_str!("golden/sim-offered-load.txt"),
+    );
+}
+
+#[test]
 fn every_report_carries_the_scenario_header() {
     // The scenario metadata is part of the report contract: every
     // registry-produced report names the profile it ran under, in the

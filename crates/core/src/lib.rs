@@ -40,4 +40,6 @@ pub use executor::Executor;
 pub use experiment::{DynExperiment, Experiment, ExperimentContext, Runner};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};
-pub use spec::{EccMode, InterconnectSpec, MachineSpec, SpecError, SweepSpec, BUILTIN_PROFILES};
+pub use spec::{
+    EccMode, InterconnectSpec, MachineSpec, SimSpec, SpecError, SweepSpec, BUILTIN_PROFILES,
+};

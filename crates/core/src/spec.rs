@@ -131,6 +131,54 @@ impl InterconnectSpec {
     }
 }
 
+/// The discrete-event simulation grids and horizons (the `qla-sim`
+/// experiments), carried by the profile like every other sweep so a
+/// scenario file can reshape the offered-load scan, the burstiness, the
+/// queue depths, and the warm-up/measurement horizons without touching
+/// source.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimSpec {
+    /// Offered loads (Toffoli gates per error-correction window) the
+    /// `sim-offered-load` experiment sweeps.
+    pub offered_loads: Vec<f64>,
+    /// Arrival burstiness: gates arrive in back-to-back bursts of
+    /// `round(burst_factor)` (1 = smooth stream).
+    pub burst_factor: f64,
+    /// Admission-control queue depth: work items in flight beyond this wait
+    /// in a FIFO backlog.
+    pub max_in_flight: usize,
+    /// Parallel preparation slots of the ancilla factory.
+    pub ancilla_capacity: usize,
+    /// Windows of traffic discarded as warm-up before measurement.
+    pub warmup_windows: usize,
+    /// Windows of traffic measured after warm-up.
+    pub measure_windows: usize,
+    /// Offered load of the `sim-tail-latency` distribution study.
+    pub tail_offered_load: f64,
+    /// Simultaneous same-route requests forming the contended regime of
+    /// `sim-vs-analytic`.
+    pub contended_requests: usize,
+}
+
+impl SimSpec {
+    /// The default simulation shape: an offered-load scan spanning a 16×
+    /// range around the design point, moderately bursty arrivals, and a
+    /// factory sized so ancilla stalls appear inside the scanned range.
+    #[must_use]
+    pub fn paper() -> Self {
+        SimSpec {
+            offered_loads: vec![0.5, 1.0, 2.0, 4.0, 6.0],
+            burst_factor: 2.0,
+            max_in_flight: 64,
+            ancilla_capacity: 12,
+            warmup_windows: 2,
+            measure_windows: 16,
+            tail_offered_load: 1.0,
+            contended_requests: 8,
+        }
+    }
+}
+
 /// The sweep grids of the parameterised experiments, carried by the profile
 /// so sensitivity studies can widen/narrow them without touching source.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -153,6 +201,8 @@ pub struct SweepSpec {
     pub bandwidths: Vec<usize>,
     /// Concurrent Toffoli batch sizes of the scheduler study.
     pub toffoli_counts: Vec<usize>,
+    /// Discrete-event simulation grids and horizons.
+    pub sim: SimSpec,
 }
 
 impl SweepSpec {
@@ -173,6 +223,7 @@ impl SweepSpec {
             distance_max_cells: 30_000,
             bandwidths: vec![1, 2, 4, 8],
             toffoli_counts: vec![4, 16, 48],
+            sim: SimSpec::paper(),
         }
     }
 }
@@ -200,6 +251,12 @@ pub struct MachineSpec {
     /// Sweep grids for the parameterised experiments.
     pub sweep: SweepSpec,
 }
+
+/// Highest offered load (Toffoli gates per error-correction window) a spec
+/// may ask the simulation experiments for — far above any physically
+/// meaningful point, low enough that a typo'd load cannot ask the workload
+/// generator for an unbounded arrival stream.
+pub const MAX_OFFERED_LOAD: f64 = 10_000.0;
 
 /// Names of the built-in profiles, in presentation order.
 pub const BUILTIN_PROFILES: [&str; 4] =
@@ -499,6 +556,57 @@ impl MachineSpec {
             ));
         }
 
+        let sim = &s.sim;
+        if sim.offered_loads.is_empty() {
+            return Err(SpecError::Invalid(
+                "sweep.sim.offered_loads must list at least one load".to_string(),
+            ));
+        }
+        // Loads are bounded above as well as below: an astronomical load
+        // would offer millions of gates per window and turn a "sweep point"
+        // into an out-of-memory run before the engine's own clamps engage.
+        let load_in_range = |key: &str, load: f64| -> Result<(), SpecError> {
+            if !load.is_finite() || load <= 0.0 || load > MAX_OFFERED_LOAD {
+                return Err(SpecError::Invalid(format!(
+                    "{key} must be a positive load of at most {MAX_OFFERED_LOAD} \
+                     Toffolis per window, got {load}"
+                )));
+            }
+            Ok(())
+        };
+        for &load in &sim.offered_loads {
+            load_in_range("sweep.sim.offered_loads entries", load)?;
+        }
+        load_in_range("sweep.sim.tail_offered_load", sim.tail_offered_load)?;
+        if !sim.burst_factor.is_finite() || sim.burst_factor < 1.0 {
+            return Err(SpecError::Invalid(format!(
+                "sweep.sim.burst_factor must be at least 1, got {}",
+                sim.burst_factor
+            )));
+        }
+        if sim.max_in_flight == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.sim.max_in_flight must be at least 1".to_string(),
+            ));
+        }
+        if sim.ancilla_capacity == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.sim.ancilla_capacity must be at least 1".to_string(),
+            ));
+        }
+        if sim.measure_windows == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.sim.measure_windows must be at least 1".to_string(),
+            ));
+        }
+        if sim.contended_requests < 2 {
+            return Err(SpecError::Invalid(format!(
+                "sweep.sim.contended_requests must be at least 2 (one request is the \
+                 uncontended regime), got {}",
+                sim.contended_requests
+            )));
+        }
+
         // Finally the machine invariants themselves.
         self.machine().map_err(SpecError::Machine)?;
         Ok(())
@@ -588,6 +696,21 @@ impl MachineSpec {
         line("sweep.distance_max_cells", s.distance_max_cells.to_string());
         line("sweep.bandwidths", int_list(&s.bandwidths));
         line("sweep.toffoli_counts", int_list(&s.toffoli_counts));
+        let sim = &s.sim;
+        line("sweep.sim.offered_loads", num_list(&sim.offered_loads));
+        line("sweep.sim.burst_factor", num(sim.burst_factor));
+        line("sweep.sim.max_in_flight", sim.max_in_flight.to_string());
+        line(
+            "sweep.sim.ancilla_capacity",
+            sim.ancilla_capacity.to_string(),
+        );
+        line("sweep.sim.warmup_windows", sim.warmup_windows.to_string());
+        line("sweep.sim.measure_windows", sim.measure_windows.to_string());
+        line("sweep.sim.tail_offered_load", num(sim.tail_offered_load));
+        line(
+            "sweep.sim.contended_requests",
+            sim.contended_requests.to_string(),
+        );
         out
     }
 
@@ -660,6 +783,16 @@ impl MachineSpec {
                 distance_max_cells: fields.usize("sweep.distance_max_cells")?,
                 bandwidths: fields.usize_list("sweep.bandwidths")?,
                 toffoli_counts: fields.usize_list("sweep.toffoli_counts")?,
+                sim: SimSpec {
+                    offered_loads: fields.f64_list("sweep.sim.offered_loads")?,
+                    burst_factor: fields.f64("sweep.sim.burst_factor")?,
+                    max_in_flight: fields.usize("sweep.sim.max_in_flight")?,
+                    ancilla_capacity: fields.usize("sweep.sim.ancilla_capacity")?,
+                    warmup_windows: fields.usize("sweep.sim.warmup_windows")?,
+                    measure_windows: fields.usize("sweep.sim.measure_windows")?,
+                    tail_offered_load: fields.f64("sweep.sim.tail_offered_load")?,
+                    contended_requests: fields.usize("sweep.sim.contended_requests")?,
+                },
             },
         };
 
@@ -1027,6 +1160,54 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("threshold_scan_lo"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.offered_loads = vec![0.5, -1.0];
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("sim.offered_loads"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.offered_loads = vec![MAX_OFFERED_LOAD * 2.0];
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("at most 10000"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.tail_offered_load = f64::INFINITY;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("tail_offered_load"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.burst_factor = 0.5;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("burst_factor"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.contended_requests = 1;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("contended_requests"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.sim.measure_windows = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("measure_windows"));
 
         let mut spec = MachineSpec::expected();
         spec.tech.failures.double_gate = 1.5;

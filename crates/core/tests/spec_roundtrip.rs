@@ -87,6 +87,16 @@ fn randomized_specs_round_trip_exactly() {
         spec.sweep.bandwidths = (0..rng.random_range(1..6))
             .map(|_| rng.random_range(1..32))
             .collect();
+        spec.sweep.sim.offered_loads = (0..rng.random_range(1..8))
+            .map(|_| rng.random_range(0.01..64.0))
+            .collect();
+        spec.sweep.sim.burst_factor = rng.random_range(1.0..8.0);
+        spec.sweep.sim.max_in_flight = rng.random_range(1..1_000);
+        spec.sweep.sim.ancilla_capacity = rng.random_range(1..100);
+        spec.sweep.sim.warmup_windows = rng.random_range(0..10);
+        spec.sweep.sim.measure_windows = rng.random_range(1..100);
+        spec.sweep.sim.tail_offered_load = rng.random_range(0.01..32.0);
+        spec.sweep.sim.contended_requests = rng.random_range(2..32);
 
         let rendered = spec.render();
         let parsed = MachineSpec::parse(&rendered)

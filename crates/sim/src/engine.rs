@@ -1,0 +1,861 @@
+//! The discrete-event engine: EPR links, ancilla factories, admission
+//! control, and the window-paced round model.
+//!
+//! # The model
+//!
+//! The simulated machine is the Section 5 communication fabric, viewed as a
+//! queueing network:
+//!
+//! * **Logical-qubit tiles** refresh in lock-step error-correction windows
+//!   of length `W` ([`SimConfig::window`]). The window clock is global —
+//!   the paper schedules all communication "while the logical qubits are
+//!   undergoing error correction", so the window grid is the machine's
+//!   heartbeat and everything below is quantised to it.
+//! * **EPR channels**: every mesh edge carries
+//!   [`SimConfig::channels_per_edge`] physical channels (the paper's
+//!   bandwidth counts channels *per direction*; an undirected edge of the
+//!   routing mesh therefore carries `2 × bandwidth`, matching
+//!   [`Mesh::edge_capacity_per_window`]). Channels produce purified pairs
+//!   in lock-step **rounds** of length `s` ([`SimConfig::pair_service`]):
+//!   round `r` of window `w` starts at `w·W + r·s`, and at most
+//!   [`SimConfig::pairs_per_window`] rounds fit in a window — a pair that
+//!   would straddle the boundary is not started, because its consumers
+//!   re-enter error correction and the purification pipeline restarts on
+//!   the next window. Each edge serves its segment jobs from a FIFO queue,
+//!   up to `channels_per_edge` jobs per round.
+//! * **Requests** ([`CommRequest`]) are routed over a breadth-first
+//!   shortest path at release time. Producing one end-to-end pair requires
+//!   one purified *segment* pair on **every** edge of the path (segments
+//!   purify concurrently and are entanglement-swapped together — pairs do
+//!   not hop store-and-forward), so a request for `P` pairs enqueues `P`
+//!   segment jobs on each path edge and completes when the last of them is
+//!   served.
+//! * **Ancilla factories** prepare the logical ancilla blocks a
+//!   fault-tolerant Toffoli consumes before its communication starts:
+//!   [`SimConfig::ancilla_capacity`] parallel preparation slots, each
+//!   taking [`SimConfig::ancilla_prep`], fed FIFO.
+//! * **Admission control**: at most [`SimConfig::max_in_flight`] work items
+//!   are in flight; later arrivals wait in a FIFO backlog (the scheduler's
+//!   finite reorder window).
+//!
+//! In the uncontended limit this collapses to the closed-form
+//! [`uncontended_completion`] — exactly, not approximately, which is what
+//! the `sim-vs-analytic` cross-validation and the property tests pin.
+//! Everything is integer-time ([`SimTime`]) and FIFO, so a run is a pure
+//! function of `(mesh, config, work items)`: byte-reproducible across
+//! platforms, thread counts and repetitions.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use qla_sched::{CommRequest, Edge, Mesh};
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+
+/// Fixed parameters of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SimConfig {
+    /// The error-correction window `W` pacing the whole machine (the
+    /// level-L window of the active machine spec).
+    pub window: SimTime,
+    /// Per-pair service time `s` of a pipelined EPR channel
+    /// ([`InterconnectParams::pair_service_time`] at tile pitch).
+    ///
+    /// [`InterconnectParams::pair_service_time`]: https://docs.rs/qla-network
+    pub pair_service: SimTime,
+    /// Service rounds per window, `m` — supplied by the analytic layer
+    /// (`QlaMachine::epr_pairs_per_ecc_window`) so the simulator and the
+    /// closed-form models quantise identically, including the `max(1, …)`
+    /// clamp when `s > W`.
+    pub pairs_per_window: usize,
+    /// Physical channels per mesh edge (`2 × bandwidth`: the paper counts
+    /// channels per direction).
+    pub channels_per_edge: usize,
+    /// Admission-control queue depth: work items in flight beyond this wait
+    /// in a FIFO backlog.
+    pub max_in_flight: usize,
+    /// Parallel ancilla-preparation slots of the factory stage.
+    pub ancilla_capacity: usize,
+    /// Wall-clock time to prepare one logical ancilla block.
+    pub ancilla_prep: SimTime,
+    /// Optional measurement interval `[from, to)`: busy time is additionally
+    /// accumulated clipped to it, so utilisation can exclude warm-up and
+    /// drain phases.
+    pub measure: Option<(SimTime, SimTime)>,
+}
+
+impl SimConfig {
+    /// Check the configuration invariants.
+    ///
+    /// # Panics
+    /// Panics (loudly, naming the field) on a zero window, service time,
+    /// round budget, channel count, queue depth, or factory capacity —
+    /// every one of them would deadlock or degenerate the event loop.
+    pub fn validate(&self) {
+        assert!(self.window > SimTime::ZERO, "window must be positive");
+        assert!(
+            self.pair_service > SimTime::ZERO,
+            "pair_service must be positive"
+        );
+        assert!(
+            self.pairs_per_window >= 1,
+            "pairs_per_window must be at least 1"
+        );
+        assert!(
+            self.channels_per_edge >= 1,
+            "channels_per_edge must be at least 1"
+        );
+        assert!(self.max_in_flight >= 1, "max_in_flight must be at least 1");
+        assert!(
+            self.ancilla_capacity >= 1,
+            "ancilla_capacity must be at least 1"
+        );
+    }
+
+    /// The first service-round slot at or after `t`.
+    ///
+    /// Slots form the grid `w·W + r·s` for `r < pairs_per_window`; the
+    /// remainder of the window past the last slot is idle (the consumers'
+    /// error-correction step is ending and delivery must not straddle it).
+    #[must_use]
+    pub fn next_slot(&self, t: SimTime) -> SimTime {
+        let (w_ns, s_ns, t_ns) = (self.window.nanos(), self.pair_service.nanos(), t.nanos());
+        let base = (t_ns / w_ns) * w_ns;
+        let round = (t_ns - base).div_ceil(s_ns);
+        debug_assert!(base + round * s_ns >= t_ns, "ceiling slot fell before t");
+        if round < self.pairs_per_window as u64 {
+            SimTime::from_nanos(base + round * s_ns)
+        } else {
+            SimTime::from_nanos(base + w_ns)
+        }
+    }
+
+    /// Closed-form completion time of a request released at `release` for
+    /// `pairs` pairs into an **empty** network: `ceil(pairs / channels)`
+    /// consecutive service rounds starting at the first slot at or after
+    /// the release, window-quantised exactly like the engine. Independent
+    /// of path length — segments purify concurrently on every hop.
+    ///
+    /// This is the prediction the uncontended-limit property tests compare
+    /// the engine against, and the baseline queueing delay is measured
+    /// from.
+    #[must_use]
+    pub fn uncontended_completion(&self, release: SimTime, pairs: usize) -> SimTime {
+        if pairs == 0 {
+            return release;
+        }
+        let rounds = pairs.div_ceil(self.channels_per_edge);
+        let mut start = self.next_slot(release);
+        for _ in 1..rounds {
+            start = self.next_slot(start + self.pair_service);
+        }
+        start + self.pair_service
+    }
+}
+
+/// One unit of offered work: a Toffoli gate (ancilla demand plus its EPR
+/// traffic), or a bare replayed request stream entry (zero ancillas).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WorkItem {
+    /// Arrival time at the admission queue.
+    pub arrival: SimTime,
+    /// Logical ancilla blocks the factory must prepare before the item's
+    /// communication is released (6 for a fault-tolerant Toffoli).
+    pub ancillas: usize,
+    /// The EPR-distribution requests released once the ancillas are ready.
+    pub requests: Vec<CommRequest>,
+}
+
+/// Per-request timings of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RequestOutcome {
+    /// Index of the owning work item.
+    pub item: usize,
+    /// When the request entered the network (after admission + ancillas).
+    pub release: SimTime,
+    /// When its last segment job was served.
+    pub completion: SimTime,
+    /// Pairs requested.
+    pub pairs: usize,
+    /// Path length in mesh edges.
+    pub hops: usize,
+}
+
+/// Per-item timings of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ItemOutcome {
+    /// Arrival at the admission queue.
+    pub arrival: SimTime,
+    /// When the item's communication was released into the network.
+    pub released: SimTime,
+    /// When its last request completed.
+    pub completion: SimTime,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimOutcome {
+    /// Per-request timings, in work-item submission order.
+    pub requests: Vec<RequestOutcome>,
+    /// Per-item timings, in submission order.
+    pub items: Vec<ItemOutcome>,
+    /// Completion time of the last request (zero for an empty run).
+    pub makespan: SimTime,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Edges of the simulated mesh.
+    pub edges: usize,
+    /// Channel busy time, summed over all channels, in channel-nanoseconds.
+    pub busy_channel_ns: u128,
+    /// Channel busy time clipped to [`SimConfig::measure`].
+    pub measured_busy_channel_ns: u128,
+    /// Factory busy time in slot-nanoseconds.
+    pub busy_factory_ns: u128,
+    /// Factory busy time clipped to [`SimConfig::measure`].
+    pub measured_busy_factory_ns: u128,
+}
+
+impl SimOutcome {
+    /// Error-correction windows the whole run spanned (`ceil(makespan/W)`).
+    #[must_use]
+    pub fn windows_used(&self, window: SimTime) -> usize {
+        self.makespan.windows_spanned(window)
+    }
+
+    /// Aggregate channel utilisation over the measurement interval (the
+    /// whole makespan when none was configured): busy channel-time divided
+    /// by `edges × channels × interval`.
+    #[must_use]
+    pub fn channel_utilization(&self, cfg: &SimConfig) -> f64 {
+        let (busy, interval) = match cfg.measure {
+            Some((from, to)) => (
+                self.measured_busy_channel_ns,
+                to.saturating_since(from).nanos(),
+            ),
+            None => (self.busy_channel_ns, self.makespan.nanos()),
+        };
+        let capacity = self.edges as u128 * cfg.channels_per_edge as u128 * u128::from(interval);
+        if capacity == 0 {
+            0.0
+        } else {
+            busy as f64 / capacity as f64
+        }
+    }
+
+    /// Ancilla-factory utilisation over the measurement interval (the whole
+    /// makespan when none was configured).
+    #[must_use]
+    pub fn factory_utilization(&self, cfg: &SimConfig) -> f64 {
+        let (busy, interval) = match cfg.measure {
+            Some((from, to)) => (
+                self.measured_busy_factory_ns,
+                to.saturating_since(from).nanos(),
+            ),
+            None => (self.busy_factory_ns, self.makespan.nanos()),
+        };
+        let capacity = cfg.ancilla_capacity as u128 * u128::from(interval);
+        if capacity == 0 {
+            0.0
+        } else {
+            busy as f64 / capacity as f64
+        }
+    }
+}
+
+/// The engine's event alphabet.
+enum Event {
+    /// A work item reached the admission queue.
+    Arrival(usize),
+    /// A factory slot finished one ancilla block for the item.
+    AncillaDone(usize),
+    /// An edge's next service round begins.
+    RoundStart(usize),
+    /// A round's batch of segment jobs (request ids) finished on an edge.
+    BatchDone(usize, Vec<usize>),
+}
+
+struct ItemState {
+    arrival: SimTime,
+    released: SimTime,
+    completed: Option<SimTime>,
+    ancillas_left: usize,
+    requests_left: usize,
+    requests: Vec<CommRequest>,
+}
+
+struct RequestState {
+    item: usize,
+    release: SimTime,
+    completion: SimTime,
+    pairs: usize,
+    hops: usize,
+    jobs_left: usize,
+}
+
+struct EdgeState {
+    queue: VecDeque<usize>,
+    round_pending: bool,
+    busy_until: SimTime,
+}
+
+/// The simulator: mesh topology, link/factory state, and the event loop.
+struct Simulator<'a> {
+    cfg: &'a SimConfig,
+    mesh: &'a Mesh,
+    edge_index: HashMap<Edge, usize>,
+    edges: Vec<EdgeState>,
+    events: EventQueue<Event>,
+    items: Vec<ItemState>,
+    requests: Vec<RequestState>,
+    backlog: VecDeque<usize>,
+    in_flight: usize,
+    factory_busy: usize,
+    factory_queue: VecDeque<usize>,
+    busy_channel_ns: u128,
+    measured_busy_channel_ns: u128,
+    busy_factory_ns: u128,
+    measured_busy_factory_ns: u128,
+    makespan: SimTime,
+}
+
+/// Run the simulator over a stream of work items.
+///
+/// Items may arrive in any time order; the event queue serialises them.
+/// The run ends when every item has completed (the engine always drains —
+/// there is no open-ended horizon to cut off, so "offered load beyond
+/// capacity" shows up as a growing makespan, exactly like a saturated
+/// queueing system).
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]) or
+/// a request names a node outside the mesh.
+#[must_use]
+pub fn simulate(mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) -> SimOutcome {
+    cfg.validate();
+    let mesh_edges = mesh.edges();
+    let edge_index: HashMap<Edge, usize> = mesh_edges
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, i))
+        .collect();
+    let mut sim = Simulator {
+        cfg,
+        mesh,
+        edges: mesh_edges
+            .iter()
+            .map(|_| EdgeState {
+                queue: VecDeque::new(),
+                round_pending: false,
+                busy_until: SimTime::ZERO,
+            })
+            .collect(),
+        edge_index,
+        events: EventQueue::new(),
+        items: items
+            .iter()
+            .map(|w| ItemState {
+                arrival: w.arrival,
+                released: w.arrival,
+                completed: None,
+                ancillas_left: w.ancillas,
+                requests_left: w.requests.len(),
+                requests: w.requests.clone(),
+            })
+            .collect(),
+        requests: Vec::new(),
+        backlog: VecDeque::new(),
+        in_flight: 0,
+        factory_busy: 0,
+        factory_queue: VecDeque::new(),
+        busy_channel_ns: 0,
+        measured_busy_channel_ns: 0,
+        busy_factory_ns: 0,
+        measured_busy_factory_ns: 0,
+        makespan: SimTime::ZERO,
+    };
+    for (i, item) in items.iter().enumerate() {
+        sim.events.push(item.arrival, Event::Arrival(i));
+    }
+    sim.run()
+}
+
+/// Convenience wrapper: replay a timestamped [`CommRequest`] stream (one
+/// work item per request, no ancilla stage) — the "scheduler front-end"
+/// that turns the analytic layer's pre-batched windows into arrivals.
+#[must_use]
+pub fn simulate_requests(
+    mesh: &Mesh,
+    cfg: &SimConfig,
+    requests: &[(SimTime, CommRequest)],
+) -> SimOutcome {
+    let items: Vec<WorkItem> = requests
+        .iter()
+        .map(|&(arrival, request)| WorkItem {
+            arrival,
+            ancillas: 0,
+            requests: vec![request],
+        })
+        .collect();
+    simulate(mesh, cfg, &items)
+}
+
+impl Simulator<'_> {
+    fn run(mut self) -> SimOutcome {
+        while let Some((now, event)) = self.events.pop() {
+            match event {
+                Event::Arrival(item) => self.on_arrival(item, now),
+                Event::AncillaDone(item) => self.on_ancilla_done(item, now),
+                Event::RoundStart(edge) => self.on_round_start(edge, now),
+                Event::BatchDone(edge, jobs) => self.on_batch_done(edge, &jobs, now),
+            }
+        }
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| RequestOutcome {
+                item: r.item,
+                release: r.release,
+                completion: r.completion,
+                pairs: r.pairs,
+                hops: r.hops,
+            })
+            .collect();
+        let items = self
+            .items
+            .iter()
+            .map(|i| ItemOutcome {
+                arrival: i.arrival,
+                released: i.released,
+                completion: i.completed.expect("the event loop drains every item"),
+            })
+            .collect();
+        SimOutcome {
+            requests,
+            items,
+            makespan: self.makespan,
+            events: self.events.processed(),
+            edges: self.edges.len(),
+            busy_channel_ns: self.busy_channel_ns,
+            measured_busy_channel_ns: self.measured_busy_channel_ns,
+            busy_factory_ns: self.busy_factory_ns,
+            measured_busy_factory_ns: self.measured_busy_factory_ns,
+        }
+    }
+
+    fn on_arrival(&mut self, item: usize, now: SimTime) {
+        if self.in_flight < self.cfg.max_in_flight {
+            self.admit(item, now);
+        } else {
+            self.backlog.push_back(item);
+        }
+    }
+
+    fn admit(&mut self, item: usize, now: SimTime) {
+        self.in_flight += 1;
+        if self.items[item].ancillas_left == 0 {
+            self.release_requests(item, now);
+        } else {
+            for _ in 0..self.items[item].ancillas_left {
+                self.factory_queue.push_back(item);
+            }
+            self.factory_kick(now);
+        }
+    }
+
+    fn factory_kick(&mut self, now: SimTime) {
+        while self.factory_busy < self.cfg.ancilla_capacity {
+            let Some(item) = self.factory_queue.pop_front() else {
+                break;
+            };
+            self.factory_busy += 1;
+            let done = now + self.cfg.ancilla_prep;
+            self.account_factory(now, done);
+            self.events.push(done, Event::AncillaDone(item));
+        }
+    }
+
+    fn on_ancilla_done(&mut self, item: usize, now: SimTime) {
+        self.factory_busy -= 1;
+        self.items[item].ancillas_left -= 1;
+        if self.items[item].ancillas_left == 0 {
+            self.release_requests(item, now);
+        }
+        self.factory_kick(now);
+    }
+
+    fn release_requests(&mut self, item: usize, now: SimTime) {
+        self.items[item].released = now;
+        let comm = std::mem::take(&mut self.items[item].requests);
+        if comm.is_empty() {
+            self.complete_item(item, now);
+            return;
+        }
+        for request in comm {
+            let path = shortest_path(self.mesh, request.from, request.to);
+            let hops = path.len().saturating_sub(1);
+            let jobs = request.pairs * hops;
+            let id = self.requests.len();
+            self.requests.push(RequestState {
+                item,
+                release: now,
+                completion: now,
+                pairs: request.pairs,
+                hops,
+                jobs_left: jobs,
+            });
+            if jobs == 0 {
+                self.complete_request(id, now);
+                continue;
+            }
+            for pair in path.windows(2) {
+                let edge = self.edge_index[&Edge::new(pair[0], pair[1])];
+                for _ in 0..request.pairs {
+                    self.edges[edge].queue.push_back(id);
+                }
+                self.schedule_round(edge, now);
+            }
+        }
+    }
+
+    fn schedule_round(&mut self, edge: usize, now: SimTime) {
+        let e = &mut self.edges[edge];
+        if e.round_pending || e.queue.is_empty() {
+            return;
+        }
+        // Rounds sit on the window-quantised slot grid and never overlap
+        // the previous round of this edge (`busy_until` covers the clamped
+        // `pairs_per_window = 1` case where a single round outlasts W).
+        let start = self.cfg.next_slot(now.max(e.busy_until));
+        e.round_pending = true;
+        self.events.push(start, Event::RoundStart(edge));
+    }
+
+    fn on_round_start(&mut self, edge: usize, now: SimTime) {
+        let served = {
+            let e = &mut self.edges[edge];
+            e.round_pending = false;
+            let batch = e.queue.len().min(self.cfg.channels_per_edge);
+            let jobs: Vec<usize> = e.queue.drain(..batch).collect();
+            e.busy_until = now + self.cfg.pair_service;
+            jobs
+        };
+        if !served.is_empty() {
+            let done = now + self.cfg.pair_service;
+            self.account_channels(served.len(), now, done);
+            self.events.push(done, Event::BatchDone(edge, served));
+        }
+        self.schedule_round(edge, now);
+    }
+
+    fn on_batch_done(&mut self, _edge: usize, jobs: &[usize], now: SimTime) {
+        for &id in jobs {
+            self.requests[id].jobs_left -= 1;
+            if self.requests[id].jobs_left == 0 {
+                self.complete_request(id, now);
+            }
+        }
+    }
+
+    fn complete_request(&mut self, id: usize, now: SimTime) {
+        self.requests[id].completion = now;
+        let item = self.requests[id].item;
+        self.items[item].requests_left -= 1;
+        if self.items[item].requests_left == 0 {
+            self.complete_item(item, now);
+        }
+    }
+
+    fn complete_item(&mut self, item: usize, now: SimTime) {
+        self.items[item].completed = Some(now);
+        self.makespan = self.makespan.max(now);
+        self.in_flight -= 1;
+        if let Some(next) = self.backlog.pop_front() {
+            self.admit(next, now);
+        }
+    }
+
+    fn account_channels(&mut self, batch: usize, from: SimTime, to: SimTime) {
+        let span = u128::from(to.saturating_since(from).nanos()) * batch as u128;
+        self.busy_channel_ns += span;
+        self.measured_busy_channel_ns += self.clipped(from, to) * batch as u128;
+    }
+
+    fn account_factory(&mut self, from: SimTime, to: SimTime) {
+        self.busy_factory_ns += u128::from(to.saturating_since(from).nanos());
+        self.measured_busy_factory_ns += self.clipped(from, to);
+    }
+
+    /// Overlap of `[from, to)` with the measurement interval, in ns.
+    fn clipped(&self, from: SimTime, to: SimTime) -> u128 {
+        match self.cfg.measure {
+            None => u128::from(to.saturating_since(from).nanos()),
+            Some((lo, hi)) => {
+                let a = from.max(lo);
+                let b = to.min(hi);
+                u128::from(b.saturating_since(a).nanos())
+            }
+        }
+    }
+}
+
+/// Deterministic breadth-first shortest path over the mesh (neighbour order
+/// is the mesh's fixed left/right/up/down order, so routing never depends
+/// on hash-map iteration). Co-located endpoints route out-and-back through
+/// the first neighbour, mirroring the greedy scheduler's convention that
+/// the pair still has to leave the tile.
+#[must_use]
+pub fn shortest_path(mesh: &Mesh, from: usize, to: usize) -> Vec<usize> {
+    assert!(
+        from < mesh.node_count() && to < mesh.node_count(),
+        "request endpoints ({from}, {to}) outside the {}-node mesh",
+        mesh.node_count()
+    );
+    if from == to {
+        return match mesh.neighbours(from).first() {
+            Some(&n) => vec![from, n],
+            None => vec![from],
+        };
+    }
+    let mut prev: Vec<Option<usize>> = vec![None; mesh.node_count()];
+    prev[from] = Some(from);
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    'search: while let Some(node) = queue.pop_front() {
+        for next in mesh.neighbours(node) {
+            if prev[next].is_none() {
+                prev[next] = Some(node);
+                if next == to {
+                    break 'search;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut path = vec![to];
+    let mut cursor = to;
+    while cursor != from {
+        cursor = prev[cursor].expect("grid meshes are connected");
+        path.push(cursor);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config with round-number clocks: W = 1000 ns, s = 100 ns, m = 10.
+    fn cfg() -> SimConfig {
+        SimConfig {
+            window: SimTime::from_nanos(1_000),
+            pair_service: SimTime::from_nanos(100),
+            pairs_per_window: 10,
+            channels_per_edge: 4,
+            max_in_flight: 1_000,
+            ancilla_capacity: 1_000,
+            ancilla_prep: SimTime::from_nanos(1_000),
+            measure: None,
+        }
+    }
+
+    fn request(from: usize, to: usize, pairs: usize) -> CommRequest {
+        CommRequest { from, to, pairs }
+    }
+
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn slot_grid_quantises_to_rounds_and_windows() {
+        let c = cfg();
+        assert_eq!(c.next_slot(at(0)), at(0));
+        assert_eq!(c.next_slot(at(1)), at(100));
+        assert_eq!(c.next_slot(at(100)), at(100));
+        // Slot 9 (at 900 ns) is the last of the window; 901 ns rolls over.
+        assert_eq!(c.next_slot(at(900)), at(900));
+        assert_eq!(c.next_slot(at(901)), at(1_000));
+        // A clamped m = 1 grid only has the window boundaries.
+        let clamped = SimConfig {
+            pairs_per_window: 1,
+            pair_service: SimTime::from_nanos(1_500),
+            ..c
+        };
+        assert_eq!(clamped.next_slot(at(1)), at(1_000));
+        assert_eq!(clamped.next_slot(at(1_000)), at(1_000));
+    }
+
+    #[test]
+    fn single_small_request_takes_exactly_one_service_time() {
+        // Uncontended, aligned, pairs <= channels: latency == s, the
+        // closed-form pair_service_time prediction.
+        let mesh = Mesh::new(4, 4, 2);
+        let out = simulate_requests(&mesh, &cfg(), &[(SimTime::ZERO, request(0, 3, 4))]);
+        assert_eq!(out.requests.len(), 1);
+        assert_eq!(out.requests[0].hops, 3);
+        assert_eq!(out.requests[0].completion, at(100));
+        assert_eq!(out.makespan, at(100));
+        assert_eq!(out.windows_used(cfg().window), 1);
+    }
+
+    #[test]
+    fn engine_matches_the_closed_form_for_a_lone_request() {
+        let mesh = Mesh::new(6, 3, 1);
+        for (release, pairs) in [
+            (0u64, 1usize),
+            (0, 4),
+            (0, 5),
+            (0, 43),
+            (350, 4),
+            (950, 1), // straddles the boundary: must wait for the window
+            (999, 17),
+            (2_000, 80),
+        ] {
+            let c = cfg();
+            let out = simulate_requests(&mesh, &c, &[(at(release), request(0, 17, pairs))]);
+            assert_eq!(
+                out.requests[0].completion,
+                c.uncontended_completion(at(release), pairs),
+                "release {release} pairs {pairs}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_window_completion_matches_the_analytic_window_count() {
+        // n = ceil(P / c) service rounds at m rounds per window must span
+        // exactly ceil(P / (c·m)) windows — the identity behind the
+        // sim-vs-analytic agreement in the uncontended regime.
+        let mesh = Mesh::new(5, 1, 1);
+        let c = cfg();
+        for pairs in [1usize, 39, 40, 41, 80, 81, 397] {
+            let out = simulate_requests(&mesh, &c, &[(SimTime::ZERO, request(0, 4, pairs))]);
+            let analytic = pairs
+                .div_ceil(c.channels_per_edge)
+                .div_ceil(c.pairs_per_window);
+            assert_eq!(out.windows_used(c.window), analytic, "pairs {pairs}");
+        }
+    }
+
+    #[test]
+    fn contending_requests_queue_fifo_on_the_shared_edge() {
+        // Two 4-pair requests over the same single edge: the second's jobs
+        // queue behind the first's and finish one round later.
+        let mesh = Mesh::new(2, 1, 1);
+        let c = cfg();
+        let out = simulate_requests(
+            &mesh,
+            &c,
+            &[
+                (SimTime::ZERO, request(0, 1, 4)),
+                (SimTime::ZERO, request(0, 1, 4)),
+            ],
+        );
+        assert_eq!(out.requests[0].completion, at(100));
+        assert_eq!(out.requests[1].completion, at(200));
+        // And the queueing delay is visible against the closed form.
+        assert!(out.requests[1].completion > c.uncontended_completion(SimTime::ZERO, 4));
+    }
+
+    #[test]
+    fn colocated_requests_route_out_and_back() {
+        let mesh = Mesh::new(3, 3, 1);
+        let out = simulate_requests(&mesh, &cfg(), &[(SimTime::ZERO, request(4, 4, 2))]);
+        assert_eq!(out.requests[0].hops, 1);
+        assert_eq!(out.requests[0].completion, at(100));
+    }
+
+    #[test]
+    fn ancilla_factory_serialises_preps_at_capacity_one() {
+        let mesh = Mesh::new(3, 1, 1);
+        let c = SimConfig {
+            ancilla_capacity: 1,
+            ..cfg()
+        };
+        let items = [WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 6,
+            requests: vec![request(0, 2, 4)],
+        }];
+        let out = simulate(&mesh, &c, &items);
+        // 6 sequential preps of 1000 ns gate the release.
+        assert_eq!(out.items[0].released, at(6_000));
+        assert_eq!(out.items[0].completion, at(6_100));
+        // With 6 parallel slots the preps overlap completely.
+        let wide = SimConfig {
+            ancilla_capacity: 6,
+            ..c
+        };
+        let out = simulate(&mesh, &wide, &items);
+        assert_eq!(out.items[0].released, at(1_000));
+    }
+
+    #[test]
+    fn admission_control_backlogs_beyond_the_queue_depth() {
+        let mesh = Mesh::new(2, 1, 1);
+        let c = SimConfig {
+            max_in_flight: 1,
+            ..cfg()
+        };
+        let items: Vec<WorkItem> = (0..3)
+            .map(|_| WorkItem {
+                arrival: SimTime::ZERO,
+                ancillas: 0,
+                requests: vec![request(0, 1, 4)],
+            })
+            .collect();
+        let out = simulate(&mesh, &c, &items);
+        // Strictly serialised: each item only enters once the previous one
+        // finished.
+        assert_eq!(out.items[0].completion, at(100));
+        assert_eq!(out.items[1].released, at(100));
+        assert_eq!(out.items[1].completion, at(200));
+        assert_eq!(out.items[2].completion, at(300));
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_utilisation_is_a_fraction() {
+        let mesh = Mesh::new(4, 4, 2);
+        let c = cfg();
+        let items: Vec<WorkItem> = (0..8)
+            .map(|i| WorkItem {
+                arrival: at(137 * i as u64),
+                ancillas: 2,
+                requests: vec![request(i % 16, (5 * i + 3) % 16, 9)],
+            })
+            .collect();
+        let first = simulate(&mesh, &c, &items);
+        let again = simulate(&mesh, &c, &items);
+        assert_eq!(first, again, "same inputs must reproduce the same run");
+        let u = first.channel_utilization(&c);
+        assert!(u > 0.0 && u <= 1.0, "channel utilisation {u}");
+        let f = first.factory_utilization(&c);
+        assert!(f > 0.0 && f <= 1.0, "factory utilisation {f}");
+        assert!(first.events > 0);
+    }
+
+    #[test]
+    fn measurement_interval_clips_busy_accounting() {
+        let mesh = Mesh::new(2, 1, 1);
+        let measured = SimConfig {
+            measure: Some((at(0), at(50))),
+            ..cfg()
+        };
+        // One 4-pair round spans [0, 100) ns; only 50 ns × 4 channels fall
+        // inside the interval.
+        let out = simulate_requests(&mesh, &measured, &[(SimTime::ZERO, request(0, 1, 4))]);
+        assert_eq!(out.busy_channel_ns, 400);
+        assert_eq!(out.measured_busy_channel_ns, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs_per_window must be at least 1")]
+    fn degenerate_configs_fail_loudly() {
+        let mesh = Mesh::new(2, 1, 1);
+        let bad = SimConfig {
+            pairs_per_window: 0,
+            ..cfg()
+        };
+        let _ = simulate(&mesh, &bad, &[]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Workload generation: timestamped arrival streams for the engine.
+//!
+//! The analytic scheduler study feeds the greedy scheduler a *pre-batched*
+//! set of requests and asks how many windows it takes; the simulator wants
+//! the same traffic as it actually happens — requests arriving over time,
+//! bursty, possibly faster than the fabric drains them. This module turns
+//! the Section 5 Toffoli workload model into such streams.
+//!
+//! Arrival times use only multiplication and addition on seeded uniform
+//! draws (no logarithms or powers), so a generated stream is bit-identical
+//! on every platform — a requirement for the byte-pinned goldens of the
+//! `sim-offered-load` experiment.
+
+use crate::engine::WorkItem;
+use crate::time::SimTime;
+use qla_sched::{Mesh, ToffoliSite, PAIRS_PER_LOGICAL_TELEPORT, TOFFOLI_ANCILLA_QUBITS};
+use rand::Rng;
+
+/// Offered-traffic shape for [`toffoli_arrivals`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficParams {
+    /// Offered load in Toffoli gates per error-correction window.
+    pub offered_load: f64,
+    /// Burstiness: arrivals come in back-to-back bursts of
+    /// `round(burst_factor)` gates, spaced so the long-run offered load is
+    /// preserved. `1.0` is a smooth stream.
+    pub burst_factor: f64,
+    /// The error-correction window the load is expressed against.
+    pub window: SimTime,
+}
+
+/// Generate a bursty stream of Toffoli gates over `horizon_windows`
+/// error-correction windows, placed uniformly over the mesh like the
+/// Section 5 scheduler study's `random_toffoli_sites`.
+///
+/// Bursts of `B = round(burst_factor)` simultaneous gates are separated by
+/// gaps of `B × W/λ × u`, with `u` drawn uniformly from `[0.5, 1.5)`, so
+/// the expected arrival count stays `λ × horizon_windows` at every
+/// burstiness. Deterministic in the generator state.
+#[must_use]
+pub fn toffoli_arrivals<R: Rng + ?Sized>(
+    mesh: &Mesh,
+    horizon_windows: usize,
+    params: &TrafficParams,
+    rng: &mut R,
+) -> Vec<(SimTime, ToffoliSite)> {
+    assert!(
+        params.offered_load.is_finite() && params.offered_load > 0.0,
+        "offered_load must be positive, got {}",
+        params.offered_load
+    );
+    assert!(
+        params.burst_factor.is_finite() && params.burst_factor >= 1.0,
+        "burst_factor must be at least 1, got {}",
+        params.burst_factor
+    );
+    let nodes = mesh.node_count();
+    let burst = (params.burst_factor.round() as usize).max(1);
+    let mean_gap_ns = params.window.nanos() as f64 / params.offered_load;
+    let horizon = params.window * horizon_windows as u64;
+
+    let mut arrivals = Vec::new();
+    let mut t = SimTime::ZERO;
+    loop {
+        let jitter = 0.5 + rng.random::<f64>();
+        // Clamp to one nanosecond: an astronomically high offered load must
+        // degenerate to a finite back-to-back stream, never to a gap of 0
+        // that would stall `t` and loop forever.
+        let gap = ((burst as f64 * mean_gap_ns * jitter) as u64).max(1);
+        t += SimTime::from_nanos(gap);
+        if t >= horizon {
+            break;
+        }
+        for _ in 0..burst {
+            let site = ToffoliSite {
+                operands: [
+                    rng.random_range(0..nodes),
+                    rng.random_range(0..nodes),
+                    rng.random_range(0..nodes),
+                ],
+                ancilla_base: rng.random_range(0..nodes),
+            };
+            arrivals.push((t, site));
+        }
+    }
+    arrivals
+}
+
+/// Expand Toffoli arrivals into engine [`WorkItem`]s: each gate demands
+/// [`TOFFOLI_ANCILLA_QUBITS`] factory preparations and the EPR traffic of
+/// [`ToffoliSite::requests`] (49 pairs per logical teleport).
+#[must_use]
+pub fn toffoli_work_items(mesh: &Mesh, arrivals: &[(SimTime, ToffoliSite)]) -> Vec<WorkItem> {
+    arrivals
+        .iter()
+        .map(|(arrival, site)| WorkItem {
+            arrival: *arrival,
+            ancillas: TOFFOLI_ANCILLA_QUBITS,
+            requests: site.requests(mesh),
+        })
+        .collect()
+}
+
+/// The EPR demand of one logical teleport, re-exported for workload
+/// construction next to the generators.
+pub const TELEPORT_PAIRS: usize = PAIRS_PER_LOGICAL_TELEPORT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params(load: f64, burst: f64) -> TrafficParams {
+        TrafficParams {
+            offered_load: load,
+            burst_factor: burst,
+            window: SimTime::from_nanos(1_000_000),
+        }
+    }
+
+    #[test]
+    fn arrival_count_tracks_the_offered_load() {
+        let mesh = Mesh::new(8, 8, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let arrivals = toffoli_arrivals(&mesh, 100, &params(2.0, 1.0), &mut rng);
+        // λ = 2 over 100 windows: ~200 arrivals, within jitter slack.
+        assert!(
+            (120..280).contains(&arrivals.len()),
+            "got {}",
+            arrivals.len()
+        );
+        let horizon = SimTime::from_nanos(100_000_000);
+        assert!(arrivals.iter().all(|(t, _)| *t < horizon));
+        let nodes = mesh.node_count();
+        assert!(arrivals
+            .iter()
+            .all(|(_, s)| s.operands.iter().all(|&o| o < nodes) && s.ancilla_base < nodes));
+    }
+
+    #[test]
+    fn bursts_arrive_back_to_back_without_changing_the_mean() {
+        let mesh = Mesh::new(8, 8, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let bursty = toffoli_arrivals(&mesh, 100, &params(2.0, 4.0), &mut rng);
+        assert!((120..280).contains(&bursty.len()), "got {}", bursty.len());
+        // Every burst shares one timestamp, 4 gates long.
+        let mut by_time: Vec<usize> = Vec::new();
+        let mut last = None;
+        for (t, _) in &bursty {
+            if last == Some(*t) {
+                *by_time.last_mut().unwrap() += 1;
+            } else {
+                by_time.push(1);
+                last = Some(*t);
+            }
+        }
+        assert!(by_time.iter().all(|&n| n == 4), "burst sizes {by_time:?}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let mesh = Mesh::new(6, 6, 2);
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        let mut c = ChaCha8Rng::seed_from_u64(12);
+        let p = params(1.0, 2.0);
+        assert_eq!(
+            toffoli_arrivals(&mesh, 20, &p, &mut a),
+            toffoli_arrivals(&mesh, 20, &p, &mut b)
+        );
+        assert_ne!(
+            toffoli_arrivals(&mesh, 20, &p, &mut a),
+            toffoli_arrivals(&mesh, 20, &p, &mut c)
+        );
+    }
+
+    #[test]
+    fn work_items_carry_the_toffoli_shape() {
+        let mesh = Mesh::new(8, 8, 2);
+        let site = ToffoliSite {
+            operands: [0, 9, 18],
+            ancilla_base: 30,
+        };
+        let items = toffoli_work_items(&mesh, &[(SimTime::ZERO, site)]);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].ancillas, TOFFOLI_ANCILLA_QUBITS);
+        assert_eq!(items[0].requests.len(), 8);
+        assert!(items[0].requests.iter().all(|r| r.pairs == TELEPORT_PAIRS));
+    }
+}

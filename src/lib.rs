@@ -16,6 +16,7 @@
 //! | [`layout`] | `qla-layout` | logical-qubit tiles, chip floorplan, ballistic routing, area model |
 //! | [`network`] | `qla-network` | EPR pairs, purification, repeaters, connection-time model (Fig. 9) |
 //! | [`sched`] | `qla-sched` | greedy EPR-distribution scheduler (Section 5) |
+//! | [`sim`] | `qla-sim` | deterministic discrete-event simulator: EPR-channel queueing, ancilla factories, tail latency |
 //! | [`report`] | `qla-report` | typed experiment reports, deterministic text/JSON/CSV renderers |
 //! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
 //! | [`shor`] | `qla-shor` | QCLA, fault-tolerant Toffoli, modular exponentiation, Table 2 |
@@ -45,4 +46,5 @@ pub use qla_qec as qec;
 pub use qla_report as report;
 pub use qla_sched as sched;
 pub use qla_shor as shor;
+pub use qla_sim as sim;
 pub use qla_stabilizer as stabilizer;
