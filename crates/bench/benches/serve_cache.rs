@@ -1,0 +1,49 @@
+//! Bench: the `qla-serve` result cache, cold versus warm.
+//!
+//! Measures one `fig7-threshold` request through the full service path —
+//! parse, canonical hash, cache, evaluate, render — against a fresh service
+//! (every iteration a miss) and a pre-warmed one (every iteration a hit),
+//! at three trial budgets. The gap between the two curves is the work the
+//! cache elides; the warm curve should be flat in the trial budget while
+//! the cold curve grows linearly with it.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_serve::{ServeConfig, Service};
+
+const TRIALS: [usize; 3] = [20, 60, 180];
+
+fn request_line(trials: usize) -> String {
+    format!("{{\"experiment\": \"fig7-threshold\", \"seed\": 2005, \"trials\": {trials}}}")
+}
+
+fn service() -> Service {
+    Service::new(Box::new(qla_bench::registry::find), ServeConfig::default())
+}
+
+fn bench_serve_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_cache");
+    group.sample_size(10);
+
+    for trials in TRIALS {
+        let line = request_line(trials);
+        // Cold: a fresh service per iteration, so the request always
+        // evaluates the experiment.
+        group.bench_with_input(BenchmarkId::new("cold", trials), &line, |b, line| {
+            b.iter(|| {
+                let svc = service();
+                black_box(svc.handle_line(black_box(line)).body.len())
+            });
+        });
+        // Warm: one pre-warmed service, so the request always hits.
+        let warm = service();
+        let _ = warm.handle_line(&line);
+        group.bench_with_input(BenchmarkId::new("warm", trials), &line, |b, line| {
+            b.iter(|| black_box(warm.handle_line(black_box(line)).body.len()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_cache);
+criterion_main!(benches);

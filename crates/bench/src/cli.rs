@@ -101,7 +101,7 @@ impl CliArgs {
                 }
                 "--out-dir" => {
                     let v = iter.next().ok_or("--out-dir needs a value")?;
-                    parsed.out_dir = Some(PathBuf::from(v));
+                    parsed.out_dir = Some(check_out_dir(&v)?);
                 }
                 "--jobs" => {
                     let v = iter.next().ok_or("--jobs needs a value")?;
@@ -240,6 +240,23 @@ fn check_trials(trials: usize) -> Result<usize, String> {
         );
     }
     Ok(trials)
+}
+
+/// Reject a malformed `--out-dir` at parse time. An empty value used to
+/// flow through to `create_dir_all("")`, which fails only after the
+/// experiment has already burnt its full trial budget — and a value naming
+/// an existing *file* failed the same late way. Both are usage errors the
+/// parser can catch before any work starts. (A not-yet-existing directory
+/// stays fine: `emit` creates it.)
+fn check_out_dir(value: &str) -> Result<PathBuf, String> {
+    if value.is_empty() {
+        return Err("--out-dir must not be empty".to_string());
+    }
+    let dir = PathBuf::from(value);
+    if dir.exists() && !dir.is_dir() {
+        return Err(format!("--out-dir '{value}' exists but is not a directory"));
+    }
+    Ok(dir)
 }
 
 /// Parse a job count from `source` (a flag name or environment variable).
@@ -576,6 +593,29 @@ mod tests {
         // The boundary values stay accepted.
         assert_eq!(parse(&["--trials", "1"]).unwrap().trials, Some(1));
         assert_eq!(parse(&["--jobs", "1"]).unwrap().jobs, Some(1));
+    }
+
+    #[test]
+    fn malformed_out_dir_is_rejected_at_parse_time() {
+        // An empty --out-dir used to surface only as a cryptic
+        // `cannot create : No such file or directory` after the experiment
+        // had already run; now it is a parse error.
+        let err = parse(&["--out-dir", ""]).unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+
+        // A value naming an existing file cannot become a report directory.
+        let file = std::env::temp_dir().join("qla-bench-out-dir-test-file");
+        std::fs::write(&file, "occupied").unwrap();
+        let err = parse(&["--out-dir", file.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+
+        // An existing directory and a not-yet-existing path both stay fine
+        // (emit() creates missing directories).
+        let dir = std::env::temp_dir();
+        let args = parse(&["--out-dir", dir.to_str().unwrap()]).unwrap();
+        assert_eq!(args.out_dir, Some(dir));
+        let args = parse(&["--out-dir", "brand-new-reports"]).unwrap();
+        assert_eq!(args.out_dir, Some(PathBuf::from("brand-new-reports")));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod fig9_connection;
 pub mod recursion_analysis;
 pub mod scheduler_utilization;
 pub mod sensitivity;
+pub mod serve_load;
 pub mod sim_offered_load;
 pub mod sim_support;
 pub mod sim_tail_latency;
@@ -35,6 +36,7 @@ pub use fig9_connection::Fig9Connection;
 pub use recursion_analysis::RecursionAnalysis;
 pub use scheduler_utilization::SchedulerUtilization;
 pub use sensitivity::Sensitivity;
+pub use serve_load::ServeLoad;
 pub use sim_offered_load::SimOfferedLoad;
 pub use sim_tail_latency::SimTailLatency;
 pub use sim_vs_analytic::SimVsAnalytic;

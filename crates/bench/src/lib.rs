@@ -36,6 +36,7 @@
 //! | `sim-vs-analytic` | discrete-event sim — window-count cross-validation against the greedy scheduler |
 //! | `table2-shor` | Table 2 — Shor system numbers |
 //! | `factor128-walkthrough` | §5 — the 128-bit factorisation walk-through |
+//! | `serve-load` | qla-serve — cached evaluation service under a scripted request mix |
 //! | `sensitivity` | §6 — scenario matrix across the built-in profiles |
 //!
 //! The historical per-artefact binaries in `src/bin/` still exist as thin
@@ -49,6 +50,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod registry;
+pub mod serve_cli;
 
 /// Format a floating-point number for table output: plain decimal in a
 /// readable range, scientific notation outside it.

@@ -19,7 +19,7 @@
 //! (`qla-bench profiles <name>` prints a ready-to-edit starting point).
 
 use qla_bench::cli::{self, CliArgs};
-use qla_bench::registry;
+use qla_bench::{registry, serve_cli};
 use qla_core::MachineSpec;
 
 const USAGE: &str = "usage:
@@ -28,6 +28,7 @@ const USAGE: &str = "usage:
   qla-bench profiles [<name>]
   qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
   qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+  qla-bench serve            [--addr HOST:PORT | --once | --connect HOST:PORT] (see `qla-bench serve --help`)
 
 --jobs N evaluates sweep points on N threads ('auto' sizes to the machine;
 default: $QLA_JOBS, else 1); output is byte-identical at every job count.
@@ -36,7 +37,20 @@ default: $QLA_JOBS, else 1); output is byte-identical at every job count.
 a template). run `qla-bench list` to see the registered experiments.";
 
 fn main() {
-    let args = match CliArgs::parse(std::env::args().skip(1)) {
+    // `serve` has its own flag set (--addr, --once, ...) that CliArgs
+    // would reject, so it is dispatched on the raw argument list.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("serve") {
+        if raw.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", serve_cli::SERVE_USAGE);
+            return;
+        }
+        if let Err(message) = serve_cli::run(raw.into_iter().skip(1)) {
+            fail(&message);
+        }
+        return;
+    }
+    let args = match CliArgs::parse(raw) {
         Ok(args) => args,
         Err(message) => fail(&message),
     };

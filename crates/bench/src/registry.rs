@@ -7,8 +7,8 @@
 
 use crate::experiments::{
     ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
-    RecursionAnalysis, SchedulerUtilization, Sensitivity, SimOfferedLoad, SimTailLatency,
-    SimVsAnalytic, Table1, Table2Shor,
+    RecursionAnalysis, SchedulerUtilization, Sensitivity, ServeLoad, SimOfferedLoad,
+    SimTailLatency, SimVsAnalytic, Table1, Table2Shor,
 };
 use qla_core::DynExperiment;
 
@@ -31,6 +31,7 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(SimVsAnalytic),
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
+        Box::new(ServeLoad),
         Box::new(Sensitivity),
     ]
 }

@@ -162,6 +162,30 @@ fn sim_offered_load_json_and_text_are_byte_stable() {
     );
 }
 
+/// Trial budget of the committed `serve-load` fixtures (the *inner* request
+/// budget each generated request carries). Small, and irrelevant to
+/// stability: the reported service times come from the deterministic
+/// virtual clock (exact integer nanoseconds), so these bytes are
+/// platform-stable like the sim fixtures.
+const SERVE_LOAD_GOLDEN_TRIALS: usize = 6;
+
+#[test]
+fn serve_load_json_and_text_are_byte_stable() {
+    let e = registry::find("serve-load").unwrap();
+    let ctx = ExperimentContext::new(SERVE_LOAD_GOLDEN_TRIALS, GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "serve-load.json",
+        &report.render(Format::Json),
+        include_str!("golden/serve-load.json"),
+    );
+    assert_golden(
+        "serve-load.txt",
+        &report.render(Format::Text),
+        include_str!("golden/serve-load.txt"),
+    );
+}
+
 #[test]
 fn every_report_carries_the_scenario_header() {
     // The scenario metadata is part of the report contract: every

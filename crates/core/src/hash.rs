@@ -1,0 +1,110 @@
+//! Content hashing for result caching: FNV-1a 64 with a SplitMix64
+//! finalizer.
+//!
+//! The evaluation service (`qla-serve`) keys its result cache on the
+//! canonical bytes of a request — the rendered [`MachineSpec`]
+//! (deterministic by construction, see [`crate::spec`]), the experiment
+//! name, the seed and the resolved trial budget. Because every experiment's
+//! output is a pure function of exactly those inputs, equal canonical bytes
+//! imply byte-equal reports, and a content-addressed cache is trivially
+//! correct.
+//!
+//! The hash is hand-rolled (the vendored-deps-only rule forbids pulling a
+//! hashing crate) and **stable**: its values are pinned by golden tests, so
+//! cache keys — and anything downstream that ever logs or compares them —
+//! never drift between builds or platforms. Do not change these constants
+//! without regenerating the pinned vectors.
+//!
+//! [`MachineSpec`]: crate::spec::MachineSpec
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The FNV-1a 64-bit hash of `bytes`.
+///
+/// FNV-1a is a byte-serial multiply/xor hash: tiny, allocation-free, and
+/// with excellent dispersion on short structured text like the canonical
+/// request keys it is used for here.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The SplitMix64 finalizer: a fast invertible bit-mixer.
+///
+/// FNV-1a's low bits are weaker than its high bits (the last input byte
+/// only reaches them through one multiply); one SplitMix64 finalization
+/// round spreads every input bit across the whole word. This is the same
+/// mixer [`ExperimentContext::derived_seed`] uses for per-point seeds.
+///
+/// [`ExperimentContext::derived_seed`]: crate::ExperimentContext::derived_seed
+#[must_use]
+pub fn mix64(z: u64) -> u64 {
+    let mut z = z;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The canonical content hash used for request/result caching:
+/// [`fnv1a64`] followed by [`mix64`].
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    mix64(fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_the_published_test_vectors() {
+        // The reference vectors from the FNV specification — pinning these
+        // proves the constants and the xor-then-multiply order (FNV-1a, not
+        // FNV-1) are right.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_builds() {
+        // Golden values: cache keys must never drift between builds or
+        // platforms (the serve cache and its CI soak job rely on it). If
+        // this test fails, the hash changed — which silently invalidates
+        // every pinned canonical-key fixture downstream.
+        assert_eq!(content_hash(b""), 0xf52a_15e9_a9b5_e89b);
+        assert_eq!(
+            content_hash(b"table1\nseed=2005\ntrials=1"),
+            0xd4fe_55c7_790a_44c2
+        );
+    }
+
+    #[test]
+    fn mix64_disperses_single_bit_differences() {
+        // Adjacent inputs must not produce adjacent outputs: the mixer is
+        // what makes truncating a hash (e.g. for sharding) safe.
+        let a = content_hash(b"request-1");
+        let b = content_hash(b"request-2");
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "{a:#x} vs {b:#x}");
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_on_samples() {
+        // SplitMix64 finalization is invertible, so distinct FNV values can
+        // never collide after mixing; spot-check injectivity on a sample.
+        let mut seen: Vec<u64> = (0..1000u64).map(mix64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 1000);
+    }
+}

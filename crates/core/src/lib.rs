@@ -22,22 +22,30 @@
 //!   profiles (`expected`, `current`, the Section 6 relaxations) and the
 //!   deterministic `key = value` text format behind `--profile`/`--spec`;
 //!   the active spec rides on every [`ExperimentContext`].
+//! * [`hash`] / [`cache`] — stable content hashing (FNV-1a 64 +
+//!   SplitMix64) and a deterministic [`LruCache`], the substrate of the
+//!   `qla-serve` result cache: byte-determinism makes content-addressed
+//!   result caching trivially correct.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod arq;
 pub mod builder;
+pub mod cache;
 pub mod executor;
 pub mod experiment;
+pub mod hash;
 pub mod machine;
 pub mod montecarlo;
 pub mod spec;
 
 pub use arq::{Arq, ArqError, ArqRun};
 pub use builder::{MachineBuildError, MachineBuilder};
+pub use cache::LruCache;
 pub use executor::Executor;
 pub use experiment::{DynExperiment, Experiment, ExperimentContext, Runner};
+pub use hash::{content_hash, fnv1a64, mix64};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};
 pub use spec::{

@@ -27,4 +27,4 @@ pub mod value;
 
 pub use render::{render_csv, render_json, render_text};
 pub use report::{Column, Format, FormatParseError, Report, Scenario};
-pub use value::Value;
+pub use value::{json_escape, Value};

@@ -1,0 +1,237 @@
+//! Transport: newline-delimited JSON over TCP, plus a one-shot pipe mode.
+//!
+//! The server is deliberately boring: one accept loop, one thread per
+//! connection, one request line → one response line. A `shutdown` command
+//! on any connection flips a shared flag and wakes the (blocking) acceptor
+//! with a self-connection, the accept loop drains, and every connection
+//! thread is joined before [`serve`] returns — so a clean exit really is
+//! clean, which the CI soak job checks by grepping the server log for
+//! panics after `wait`.
+
+use crate::service::Service;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serve every line of `input`, writing one response line each to
+/// `output`, until end-of-input or a `shutdown` command. This is `--once`
+/// mode and the doctest harness; the TCP path funnels into the same
+/// per-line handling.
+///
+/// # Errors
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_once(
+    service: &Service,
+    input: impl std::io::Read,
+    output: impl Write,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(input);
+    let mut writer = BufWriter::new(output);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writer.write_all(response.body.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if response.shutdown {
+            break;
+        }
+    }
+    writer.flush()
+}
+
+/// Run the accept loop on `listener` until a `shutdown` command arrives.
+/// Returns the number of connections served.
+///
+/// # Errors
+/// Propagates fatal listener errors. Per-connection I/O errors only end
+/// that connection.
+pub fn serve(service: &Service, listener: &TcpListener) -> std::io::Result<u64> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    let mut served: u64 = 0;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            served += 1;
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                if handle_connection(service, stream) {
+                    stop.store(true, Ordering::SeqCst);
+                    // The acceptor is blocked in `incoming()`; poke it so
+                    // it observes the flag. An unused inbound connection
+                    // is enough.
+                    let _ = TcpStream::connect(local);
+                }
+            });
+        }
+        // Scope join: every in-flight connection finishes before we return.
+    });
+    Ok(served)
+}
+
+/// Serve one TCP connection. Returns whether it requested shutdown.
+fn handle_connection(service: &Service, stream: TcpStream) -> bool {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return false;
+    };
+    let reader = BufReader::new(reader_stream);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        if writer.write_all(response.body.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if response.shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// Connect to `addr`, send every line of `input`, and copy one response
+/// line per request to `output` — the replay client behind
+/// `qla-bench serve --connect`, used by the CI soak job to drive a scripted
+/// transcript through a live server.
+///
+/// # Errors
+/// Propagates connection and I/O errors; fails if the server closes the
+/// connection before answering every line.
+pub fn replay(addr: &str, input: impl std::io::Read, output: impl Write) -> std::io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut out = BufWriter::new(output);
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut response = String::new();
+        let read = reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-transcript",
+            ));
+        }
+        out.write_all(response.as_bytes())?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServeConfig, Service};
+    use qla_core::{DynExperiment, Experiment, ExperimentContext};
+    use qla_report::{Column, Report};
+
+    struct Echo;
+
+    impl Experiment for Echo {
+        type Output = u64;
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn title(&self) -> &'static str {
+            "Echo"
+        }
+        fn description(&self) -> &'static str {
+            "toy"
+        }
+        fn default_trials(&self) -> usize {
+            4
+        }
+        fn run(&self, ctx: &ExperimentContext) -> u64 {
+            ctx.derived_seed(0)
+        }
+        fn report(&self, _ctx: &ExperimentContext, output: &u64) -> Report {
+            let mut r = Report::new("echo", "Echo").with_column(Column::new("value"));
+            r.push_row(qla_report::row![*output]);
+            r
+        }
+    }
+
+    fn test_service() -> Service {
+        Service::new(
+            Box::new(|name| (name == "echo").then(|| Box::new(Echo) as Box<dyn DynExperiment>)),
+            ServeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn serve_once_answers_each_line_and_stops_at_shutdown() {
+        let service = test_service();
+        let input = concat!(
+            "{\"experiment\": \"echo\"}\n",
+            "\n",
+            "{\"cmd\": \"stats\"}\n",
+            "{\"cmd\": \"shutdown\"}\n",
+            "{\"experiment\": \"echo\"}\n", // after shutdown: unanswered
+        );
+        let mut output = Vec::new();
+        serve_once(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "echo, stats, shutdown ack: {text}");
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[1].contains("\"requests\":1"));
+        assert_eq!(lines[2], "{\"status\":\"ok\",\"shutdown\":true}");
+    }
+
+    #[test]
+    fn tcp_round_trip_replays_identically_and_shuts_down_cleanly() {
+        let service = test_service();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve(&service, &listener).unwrap());
+
+            let transcript = concat!(
+                "{\"experiment\": \"echo\", \"seed\": 1}\n",
+                "{\"experiment\": \"echo\", \"seed\": 2}\n",
+                "{\"experiment\": \"echo\", \"seed\": 1}\n",
+            );
+            let mut first = Vec::new();
+            replay(&addr, transcript.as_bytes(), &mut first).unwrap();
+            let mut second = Vec::new();
+            replay(&addr, transcript.as_bytes(), &mut second).unwrap();
+            assert_eq!(
+                first, second,
+                "cold and warm replays must be byte-identical"
+            );
+
+            let mut bye = Vec::new();
+            replay(&addr, "{\"cmd\": \"shutdown\"}\n".as_bytes(), &mut bye).unwrap();
+            assert!(String::from_utf8(bye).unwrap().contains("shutdown"));
+            let connections = server.join().unwrap();
+            assert!(connections >= 3);
+        });
+
+        let snap = service.stats();
+        assert_eq!(snap.requests, 6);
+        assert!(snap.hits >= 2, "second replay must hit the cache");
+    }
+}

@@ -1,0 +1,172 @@
+//! Service counters, surfaced by the `stats` protocol command.
+//!
+//! All counters are atomics so connection threads update them without a
+//! lock; the snapshot is a single JSON line with a fixed key order so soak
+//! scripts can parse it with nothing fancier than `grep`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one [`Service`](crate::Service).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Run requests accepted (admitted past the queue bound).
+    pub requests: AtomicU64,
+    /// Accepted requests answered from the cache.
+    pub hits: AtomicU64,
+    /// Accepted requests that evaluated an experiment.
+    pub misses: AtomicU64,
+    /// Run requests shed by admission control.
+    pub shed: AtomicU64,
+    /// Requests rejected as malformed (bad JSON, unknown experiment, …).
+    pub errors: AtomicU64,
+    /// Cache entries evicted by capacity pressure.
+    pub evictions: AtomicU64,
+    /// Run requests currently being served.
+    pub in_flight: AtomicU64,
+    /// High-water mark of `in_flight` (the observed queue depth).
+    pub peak_in_flight: AtomicU64,
+    /// Total charged service time of accepted requests, nanoseconds.
+    pub service_ns: AtomicU64,
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Run requests accepted.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Malformed or unservable requests.
+    pub errors: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Requests currently in flight.
+    pub in_flight: u64,
+    /// High-water mark of in-flight requests.
+    pub peak_in_flight: u64,
+    /// Total charged service time, nanoseconds.
+    pub service_ns: u64,
+}
+
+impl ServiceStats {
+    /// Enter one request into the in-flight gauge, maintaining the peak.
+    /// Returns the depth *including* this request.
+    pub fn enter(&self) -> u64 {
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_in_flight.fetch_max(depth, Ordering::SeqCst);
+        depth
+    }
+
+    /// Leave the in-flight gauge.
+    pub fn leave(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::SeqCst),
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            errors: self.errors.load(Ordering::SeqCst),
+            evictions: self.evictions.load(Ordering::SeqCst),
+            in_flight: self.in_flight.load(Ordering::SeqCst),
+            peak_in_flight: self.peak_in_flight.load(Ordering::SeqCst),
+            service_ns: self.service_ns.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// The cache hit rate over accepted requests (0 when none were served).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Render the snapshot as the one-line `stats` response body (fixed key
+    /// order, no whitespace variance).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"status\":\"ok\",\"requests\":{},\"hits\":{},\"misses\":{},",
+                "\"shed\":{},\"errors\":{},\"evictions\":{},\"in_flight\":{},",
+                "\"peak_in_flight\":{},\"service_ns\":{}}}"
+            ),
+            self.requests,
+            self.hits,
+            self.misses,
+            self.shed,
+            self.errors,
+            self.evictions,
+            self.in_flight,
+            self.peak_in_flight,
+            self.service_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_leave_tracks_depth_and_peak() {
+        let stats = ServiceStats::default();
+        assert_eq!(stats.enter(), 1);
+        assert_eq!(stats.enter(), 2);
+        stats.leave();
+        assert_eq!(stats.enter(), 2);
+        stats.leave();
+        stats.leave();
+        let snap = stats.snapshot();
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.peak_in_flight, 2);
+    }
+
+    #[test]
+    fn snapshot_renders_one_fixed_order_line() {
+        let stats = ServiceStats::default();
+        stats.requests.store(10, Ordering::SeqCst);
+        stats.hits.store(6, Ordering::SeqCst);
+        stats.misses.store(4, Ordering::SeqCst);
+        stats.service_ns.store(1234, Ordering::SeqCst);
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap.render_json(),
+            "{\"status\":\"ok\",\"requests\":10,\"hits\":6,\"misses\":4,\
+             \"shed\":0,\"errors\":0,\"evictions\":0,\"in_flight\":0,\
+             \"peak_in_flight\":0,\"service_ns\":1234}"
+        );
+        assert!(!snap.render_json().contains('\n'));
+        assert!((snap.hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(StatsSnapshot::default_rate_zero(), 0.0);
+    }
+
+    impl StatsSnapshot {
+        fn default_rate_zero() -> f64 {
+            StatsSnapshot {
+                requests: 0,
+                hits: 0,
+                misses: 0,
+                shed: 0,
+                errors: 0,
+                evictions: 0,
+                in_flight: 0,
+                peak_in_flight: 0,
+                service_ns: 0,
+            }
+            .hit_rate()
+        }
+    }
+}

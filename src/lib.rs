@@ -18,6 +18,7 @@
 //! | [`sched`] | `qla-sched` | greedy EPR-distribution scheduler (Section 5) |
 //! | [`sim`] | `qla-sim` | deterministic discrete-event simulator: EPR-channel queueing, ancilla factories, tail latency |
 //! | [`report`] | `qla-report` | typed experiment reports, deterministic text/JSON/CSV renderers |
+//! | [`serve`] | `qla-serve` | newline-delimited-JSON evaluation service: result cache, admission control, service stats |
 //! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
 //! | [`shor`] | `qla-shor` | QCLA, fault-tolerant Toffoli, modular exponentiation, Table 2 |
 //!
@@ -45,6 +46,7 @@ pub use qla_physical as physical;
 pub use qla_qec as qec;
 pub use qla_report as report;
 pub use qla_sched as sched;
+pub use qla_serve as serve;
 pub use qla_shor as shor;
 pub use qla_sim as sim;
 pub use qla_stabilizer as stabilizer;

@@ -22,6 +22,63 @@ pub trait Serialize {}
 /// Marker stand-in for `serde::Deserialize`.
 pub trait Deserialize<'de>: Sized {}
 
+// The real crate implements both traits for the standard scalar and
+// container types; mirror enough of that surface that downstream bounds
+// like `Experiment::Output: Serialize` accept a bare `u64` or `Vec<f64>`
+// exactly as they would with registry serde.
+macro_rules! impl_for_primitives {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_for_primitives!(
+    bool,
+    char,
+    f32,
+    f64,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    String,
+    &str,
+    ()
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+macro_rules! impl_for_tuples {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+        )*
+    };
+}
+
+impl_for_tuples!((A), (A, B), (A, B, C), (A, B, C, D));
+
 #[cfg(test)]
 mod tests {
     use crate::{Deserialize, Serialize};
