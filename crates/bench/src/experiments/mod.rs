@@ -27,6 +27,9 @@ pub mod sim_tail_latency;
 pub mod sim_vs_analytic;
 pub mod table1;
 pub mod table2_shor;
+pub mod trace_replay;
+pub mod trace_scaling;
+pub mod trace_support;
 
 pub use channel_bandwidth::ChannelBandwidth;
 pub use ecc_latency::EccLatency;
@@ -42,6 +45,8 @@ pub use sim_tail_latency::SimTailLatency;
 pub use sim_vs_analytic::SimVsAnalytic;
 pub use table1::Table1;
 pub use table2_shor::Table2Shor;
+pub use trace_replay::TraceReplay;
+pub use trace_scaling::TraceScaling;
 
 /// Two-decimal rounding for rendered table cells (typed outputs keep full
 /// precision). One shared helper so the reports' rendered precision cannot

@@ -8,17 +8,19 @@
 use crate::experiments::{
     ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
     RecursionAnalysis, SchedulerUtilization, Sensitivity, ServeLoad, SimOfferedLoad,
-    SimTailLatency, SimVsAnalytic, Table1, Table2Shor,
+    SimTailLatency, SimVsAnalytic, Table1, Table2Shor, TraceReplay, TraceScaling,
 };
 use qla_core::DynExperiment;
 
 /// Every registered experiment, in the order the paper presents the
 /// artefacts. The discrete-event simulation studies follow the analytic
-/// scheduler study they generalise, and the cross-profile sensitivity
-/// matrix closes the list, like Section 6 closes the paper.
+/// scheduler study they generalise, the instruction-trace replays follow
+/// the simulation studies they feed real programs into, and the
+/// cross-profile sensitivity matrix closes the list, like Section 6
+/// closes the paper.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn DynExperiment>> {
-    vec![
+    checked(vec![
         Box::new(Table1),
         Box::new(ChannelBandwidth),
         Box::new(EccLatency),
@@ -29,11 +31,29 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(SimOfferedLoad),
         Box::new(SimTailLatency),
         Box::new(SimVsAnalytic),
+        Box::new(TraceReplay),
+        Box::new(TraceScaling),
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
         Box::new(ServeLoad),
         Box::new(Sensitivity),
-    ]
+    ])
+}
+
+/// Reject duplicate experiment names at construction. `find` resolves by
+/// name and returns the first match, so a duplicate would silently shadow
+/// its namesake — every `run`, `describe`, and golden would act on the
+/// wrong experiment without anyone noticing.
+fn checked(entries: Vec<Box<dyn DynExperiment>>) -> Vec<Box<dyn DynExperiment>> {
+    let mut seen = std::collections::HashSet::new();
+    for entry in &entries {
+        assert!(
+            seen.insert(entry.name()),
+            "duplicate experiment name '{}' in the registry",
+            entry.name()
+        );
+    }
+    entries
 }
 
 /// The registered experiment names, in registry order.
@@ -126,6 +146,12 @@ mod tests {
             fig7.spec_fields
         );
         assert!(info("no-such-experiment").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate experiment name 'table1'")]
+    fn duplicate_names_panic_at_construction() {
+        checked(vec![Box::new(Table1), Box::new(Table1)]);
     }
 
     #[test]

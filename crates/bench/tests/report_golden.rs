@@ -162,6 +162,49 @@ fn sim_offered_load_json_and_text_are_byte_stable() {
     );
 }
 
+#[test]
+fn trace_replay_json_and_text_are_byte_stable() {
+    // Trace generation is pure integer construction (the one libm use,
+    // ceil(log2 n) in qla-shor's counts, is exact on small integers), the
+    // random program comes from seeded ChaCha8 draws, and both consumers
+    // run on integer window counts / integer nanoseconds — so these bytes
+    // are platform-stable like the sim fixtures. (The rendered sojourn and
+    // utilisation cells divide integers into f64, which is correctly
+    // rounded everywhere.)
+    let e = registry::find("trace-replay").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "trace-replay.json",
+        &report.render(Format::Json),
+        include_str!("golden/trace-replay.json"),
+    );
+    assert_golden(
+        "trace-replay.txt",
+        &report.render(Format::Text),
+        include_str!("golden/trace-replay.txt"),
+    );
+}
+
+#[test]
+fn trace_scaling_json_and_text_are_byte_stable() {
+    // Platform-stable for the same reasons as the trace-replay fixture;
+    // this sweep is RNG-free entirely (adder and modexp programs only).
+    let e = registry::find("trace-scaling").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "trace-scaling.json",
+        &report.render(Format::Json),
+        include_str!("golden/trace-scaling.json"),
+    );
+    assert_golden(
+        "trace-scaling.txt",
+        &report.render(Format::Text),
+        include_str!("golden/trace-scaling.txt"),
+    );
+}
+
 /// Trial budget of the committed `serve-load` fixtures (the *inner* request
 /// budget each generated request carries). Small, and irrelevant to
 /// stability: the reported service times come from the deterministic

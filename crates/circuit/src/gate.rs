@@ -126,6 +126,73 @@ impl Gate {
         }
     }
 
+    /// The textual mnemonic of the gate — the first token of its
+    /// [`Display`](core::fmt::Display) form (`"cnot"`, `"toffoli"`, ...).
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Gate::H(_) => "h",
+            Gate::X(_) => "x",
+            Gate::Y(_) => "y",
+            Gate::Z(_) => "z",
+            Gate::S(_) => "s",
+            Gate::Sdg(_) => "sdg",
+            Gate::T(_) => "t",
+            Gate::Tdg(_) => "tdg",
+            Gate::Cnot(..) => "cnot",
+            Gate::Cz(..) => "cz",
+            Gate::Swap(..) => "swap",
+            Gate::Toffoli { .. } => "toffoli",
+            Gate::PrepZ(_) => "prep",
+            Gate::MeasureZ(_) => "measure",
+        }
+    }
+
+    /// The operand count a mnemonic demands, or `None` if the mnemonic is
+    /// not part of the instruction set. Text-format parsers use this to
+    /// distinguish "unknown op" from "wrong operand count".
+    #[must_use]
+    pub fn mnemonic_arity(mnemonic: &str) -> Option<usize> {
+        match mnemonic {
+            "h" | "x" | "y" | "z" | "s" | "sdg" | "t" | "tdg" | "prep" | "measure" => Some(1),
+            "cnot" | "cz" | "swap" => Some(2),
+            "toffoli" => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Build a gate from a mnemonic and its operands, the inverse of
+    /// [`Gate::mnemonic`] + [`Gate::qubits`]. Returns `None` when the
+    /// mnemonic is unknown or the operand count does not match
+    /// [`Gate::mnemonic_arity`].
+    #[must_use]
+    pub fn from_mnemonic(mnemonic: &str, operands: &[Qubit]) -> Option<Gate> {
+        if Gate::mnemonic_arity(mnemonic) != Some(operands.len()) {
+            return None;
+        }
+        Some(match mnemonic {
+            "h" => Gate::H(operands[0]),
+            "x" => Gate::X(operands[0]),
+            "y" => Gate::Y(operands[0]),
+            "z" => Gate::Z(operands[0]),
+            "s" => Gate::S(operands[0]),
+            "sdg" => Gate::Sdg(operands[0]),
+            "t" => Gate::T(operands[0]),
+            "tdg" => Gate::Tdg(operands[0]),
+            "prep" => Gate::PrepZ(operands[0]),
+            "measure" => Gate::MeasureZ(operands[0]),
+            "cnot" => Gate::Cnot(operands[0], operands[1]),
+            "cz" => Gate::Cz(operands[0], operands[1]),
+            "swap" => Gate::Swap(operands[0], operands[1]),
+            "toffoli" => Gate::Toffoli {
+                control1: operands[0],
+                control2: operands[1],
+                target: operands[2],
+            },
+            _ => unreachable!("mnemonic_arity admitted '{mnemonic}'"),
+        })
+    }
+
     /// Remap the gate's qubit operands through `f` (used when embedding a
     /// sub-circuit into a larger register).
     #[must_use]
@@ -247,5 +314,43 @@ mod tests {
     fn display_forms() {
         assert_eq!(format!("{}", Gate::Cnot(0, 4)), "cnot 0 4");
         assert_eq!(format!("{}", Gate::MeasureZ(7)), "measure 7");
+    }
+
+    #[test]
+    fn mnemonic_round_trips_every_gate() {
+        let gates = [
+            Gate::H(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::PrepZ(0),
+            Gate::MeasureZ(0),
+            Gate::Cnot(0, 1),
+            Gate::Cz(0, 1),
+            Gate::Swap(0, 1),
+            Gate::Toffoli {
+                control1: 0,
+                control2: 1,
+                target: 2,
+            },
+        ];
+        for g in gates {
+            assert_eq!(Gate::mnemonic_arity(g.mnemonic()), Some(g.arity()));
+            assert_eq!(Gate::from_mnemonic(g.mnemonic(), &g.qubits()), Some(g));
+            // Display is "<mnemonic> <operands...>" — keep them in lockstep.
+            assert!(format!("{g}").starts_with(g.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn from_mnemonic_rejects_unknown_and_wrong_arity() {
+        assert_eq!(Gate::mnemonic_arity("frobnicate"), None);
+        assert_eq!(Gate::from_mnemonic("frobnicate", &[0]), None);
+        assert_eq!(Gate::from_mnemonic("cnot", &[0]), None);
+        assert_eq!(Gate::from_mnemonic("h", &[0, 1]), None);
     }
 }

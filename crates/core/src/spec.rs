@@ -179,6 +179,48 @@ impl SimSpec {
     }
 }
 
+/// The instruction-trace workloads (`qla-trace`) the `trace-replay` and
+/// `trace-scaling` experiments generate and replay, carried by the
+/// profile so a scenario file can reshape the programs without touching
+/// source.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceSpec {
+    /// Register width (bits) of the QCLA adder program `trace-replay`
+    /// lowers.
+    pub adder_bits: usize,
+    /// Modulus width (bits) of the modular-exponentiation program.
+    pub modexp_bits: usize,
+    /// Controlled-multiplier calls the modexp trace is truncated to
+    /// (the full program runs `2·modexp_bits`).
+    pub modexp_multiplier_calls: usize,
+    /// Logical qubits of the seeded random Clifford+T program.
+    pub random_qubits: usize,
+    /// Instruction count of the random Clifford+T program.
+    pub random_ops: usize,
+    /// Adder widths (bits) the `trace-scaling` sweep replays.
+    pub scaling_adder_bits: Vec<usize>,
+    /// Modexp widths (bits) the `trace-scaling` sweep replays.
+    pub scaling_modexp_bits: Vec<usize>,
+}
+
+impl TraceSpec {
+    /// The default program shapes: a byte-sized adder and modexp (large
+    /// enough to exercise every hazard class, small enough that goldens
+    /// replay in seconds) and a random program around the same scale.
+    #[must_use]
+    pub fn paper() -> Self {
+        TraceSpec {
+            adder_bits: 8,
+            modexp_bits: 8,
+            modexp_multiplier_calls: 1,
+            random_qubits: 24,
+            random_ops: 160,
+            scaling_adder_bits: vec![4, 8, 16, 32],
+            scaling_modexp_bits: vec![4, 6, 8],
+        }
+    }
+}
+
 /// The sweep grids of the parameterised experiments, carried by the profile
 /// so sensitivity studies can widen/narrow them without touching source.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -203,6 +245,8 @@ pub struct SweepSpec {
     pub toffoli_counts: Vec<usize>,
     /// Discrete-event simulation grids and horizons.
     pub sim: SimSpec,
+    /// Instruction-trace program shapes.
+    pub trace: TraceSpec,
 }
 
 impl SweepSpec {
@@ -224,6 +268,7 @@ impl SweepSpec {
             bandwidths: vec![1, 2, 4, 8],
             toffoli_counts: vec![4, 16, 48],
             sim: SimSpec::paper(),
+            trace: TraceSpec::paper(),
         }
     }
 }
@@ -257,6 +302,14 @@ pub struct MachineSpec {
 /// meaningful point, low enough that a typo'd load cannot ask the workload
 /// generator for an unbounded arrival stream.
 pub const MAX_OFFERED_LOAD: f64 = 10_000.0;
+
+/// Widest register (bits) a spec may ask the trace generators for. A
+/// QCLA adder trace is ~4 qubits and ~5 gates per bit; this cap keeps a
+/// typo'd width from generating a multi-gigabyte instruction stream.
+pub const MAX_TRACE_BITS: usize = 1_024;
+
+/// Most instructions a spec may ask the random trace generator for.
+pub const MAX_TRACE_OPS: usize = 1_000_000;
 
 /// Names of the built-in profiles, in presentation order.
 pub const BUILTIN_PROFILES: [&str; 4] =
@@ -607,6 +660,53 @@ impl MachineSpec {
             )));
         }
 
+        let trace = &s.trace;
+        let bits_in_range = |key: &str, bits: usize, floor: usize| -> Result<(), SpecError> {
+            if bits < floor || bits > MAX_TRACE_BITS {
+                return Err(SpecError::Invalid(format!(
+                    "{key} must be between {floor} and {MAX_TRACE_BITS} bits, got {bits}"
+                )));
+            }
+            Ok(())
+        };
+        bits_in_range("sweep.trace.adder_bits", trace.adder_bits, 1)?;
+        // modexp_costs models moduli of at least 4 bits.
+        bits_in_range("sweep.trace.modexp_bits", trace.modexp_bits, 4)?;
+        if trace.modexp_multiplier_calls == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.trace.modexp_multiplier_calls must be at least 1".to_string(),
+            ));
+        }
+        if trace.random_qubits < 3 || trace.random_qubits > MAX_TRACE_BITS * 4 {
+            return Err(SpecError::Invalid(format!(
+                "sweep.trace.random_qubits must be between 3 (Toffoli operands) and {}, got {}",
+                MAX_TRACE_BITS * 4,
+                trace.random_qubits
+            )));
+        }
+        if trace.random_ops == 0 || trace.random_ops > MAX_TRACE_OPS {
+            return Err(SpecError::Invalid(format!(
+                "sweep.trace.random_ops must be between 1 and {MAX_TRACE_OPS}, got {}",
+                trace.random_ops
+            )));
+        }
+        if trace.scaling_adder_bits.is_empty() {
+            return Err(SpecError::Invalid(
+                "sweep.trace.scaling_adder_bits must list at least one width".to_string(),
+            ));
+        }
+        for &bits in &trace.scaling_adder_bits {
+            bits_in_range("sweep.trace.scaling_adder_bits entries", bits, 1)?;
+        }
+        if trace.scaling_modexp_bits.is_empty() {
+            return Err(SpecError::Invalid(
+                "sweep.trace.scaling_modexp_bits must list at least one width".to_string(),
+            ));
+        }
+        for &bits in &trace.scaling_modexp_bits {
+            bits_in_range("sweep.trace.scaling_modexp_bits entries", bits, 4)?;
+        }
+
         // Finally the machine invariants themselves.
         self.machine().map_err(SpecError::Machine)?;
         Ok(())
@@ -711,6 +811,23 @@ impl MachineSpec {
             "sweep.sim.contended_requests",
             sim.contended_requests.to_string(),
         );
+        let trace = &s.trace;
+        line("sweep.trace.adder_bits", trace.adder_bits.to_string());
+        line("sweep.trace.modexp_bits", trace.modexp_bits.to_string());
+        line(
+            "sweep.trace.modexp_multiplier_calls",
+            trace.modexp_multiplier_calls.to_string(),
+        );
+        line("sweep.trace.random_qubits", trace.random_qubits.to_string());
+        line("sweep.trace.random_ops", trace.random_ops.to_string());
+        line(
+            "sweep.trace.scaling_adder_bits",
+            int_list(&trace.scaling_adder_bits),
+        );
+        line(
+            "sweep.trace.scaling_modexp_bits",
+            int_list(&trace.scaling_modexp_bits),
+        );
         out
     }
 
@@ -792,6 +909,15 @@ impl MachineSpec {
                     measure_windows: fields.usize("sweep.sim.measure_windows")?,
                     tail_offered_load: fields.f64("sweep.sim.tail_offered_load")?,
                     contended_requests: fields.usize("sweep.sim.contended_requests")?,
+                },
+                trace: TraceSpec {
+                    adder_bits: fields.usize("sweep.trace.adder_bits")?,
+                    modexp_bits: fields.usize("sweep.trace.modexp_bits")?,
+                    modexp_multiplier_calls: fields.usize("sweep.trace.modexp_multiplier_calls")?,
+                    random_qubits: fields.usize("sweep.trace.random_qubits")?,
+                    random_ops: fields.usize("sweep.trace.random_ops")?,
+                    scaling_adder_bits: fields.usize_list("sweep.trace.scaling_adder_bits")?,
+                    scaling_modexp_bits: fields.usize_list("sweep.trace.scaling_modexp_bits")?,
                 },
             },
         };
@@ -1208,6 +1334,62 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("measure_windows"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.adder_bits = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("trace.adder_bits"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.modexp_bits = 3;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("trace.modexp_bits"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.modexp_multiplier_calls = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("modexp_multiplier_calls"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.random_qubits = 2;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("random_qubits"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.random_ops = MAX_TRACE_OPS + 1;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("random_ops"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.scaling_adder_bits.clear();
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("scaling_adder_bits"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.trace.scaling_modexp_bits = vec![8, MAX_TRACE_BITS + 1];
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("scaling_modexp_bits"));
 
         let mut spec = MachineSpec::expected();
         spec.tech.failures.double_gate = 1.5;

@@ -97,6 +97,17 @@ fn randomized_specs_round_trip_exactly() {
         spec.sweep.sim.measure_windows = rng.random_range(1..100);
         spec.sweep.sim.tail_offered_load = rng.random_range(0.01..32.0);
         spec.sweep.sim.contended_requests = rng.random_range(2..32);
+        spec.sweep.trace.adder_bits = rng.random_range(1..64);
+        spec.sweep.trace.modexp_bits = rng.random_range(4..64);
+        spec.sweep.trace.modexp_multiplier_calls = rng.random_range(1..16);
+        spec.sweep.trace.random_qubits = rng.random_range(3..256);
+        spec.sweep.trace.random_ops = rng.random_range(1..10_000);
+        spec.sweep.trace.scaling_adder_bits = (0..rng.random_range(1..6))
+            .map(|_| rng.random_range(1..64))
+            .collect();
+        spec.sweep.trace.scaling_modexp_bits = (0..rng.random_range(1..6))
+            .map(|_| rng.random_range(4..64))
+            .collect();
 
         let rendered = spec.render();
         let parsed = MachineSpec::parse(&rendered)

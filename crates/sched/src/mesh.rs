@@ -169,6 +169,31 @@ impl Mesh {
         let (cb, rb) = self.coords(b);
         ca.abs_diff(cb) + ra.abs_diff(rb)
     }
+
+    /// `count` distinct node ids spread evenly over the grid in row-major
+    /// order — the deterministic placement used when pinning a logical
+    /// register onto the fabric. Spacing qubits out (rather than packing
+    /// them into a corner) keeps the placement's traffic from collapsing
+    /// onto a handful of edges.
+    ///
+    /// # Panics
+    /// Panics when the mesh has fewer sites than `count` — a silent
+    /// double-assignment would alias two logical qubits onto one tile.
+    #[must_use]
+    pub fn spread_nodes(&self, count: usize) -> Vec<Node> {
+        assert!(
+            count <= self.node_count(),
+            "cannot place {count} logical qubits on a {}x{} mesh ({} sites)",
+            self.columns,
+            self.rows,
+            self.node_count()
+        );
+        if count == 0 {
+            return Vec::new();
+        }
+        let stride = self.node_count() / count;
+        (0..count).map(|i| i * stride).collect()
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +212,29 @@ mod tests {
         let pipelined = Mesh::new(3, 3, 2).with_pairs_per_window(64);
         assert_eq!(pipelined.edge_capacity_per_window(), 2 * 2 * 64);
         assert_eq!(pipelined.total_capacity_per_window(), 12 * 2 * 2 * 64);
+    }
+
+    #[test]
+    fn spread_nodes_is_distinct_and_even() {
+        let m = Mesh::new(4, 4, 1);
+        assert_eq!(m.spread_nodes(0), Vec::<Node>::new());
+        assert_eq!(m.spread_nodes(4), vec![0, 4, 8, 12]);
+        let full = m.spread_nodes(16);
+        assert_eq!(full, (0..16).collect::<Vec<_>>());
+        // Never aliases two qubits onto one node, at any occupancy.
+        for count in 1..=16 {
+            let nodes = m.spread_nodes(count);
+            let mut deduped = nodes.clone();
+            deduped.dedup();
+            assert_eq!(nodes.len(), count);
+            assert_eq!(deduped.len(), count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place 17 logical qubits")]
+    fn spread_nodes_rejects_overfull_mesh() {
+        let _ = Mesh::new(4, 4, 1).spread_nodes(17);
     }
 
     #[test]

@@ -221,6 +221,16 @@ impl SimOutcome {
         self.makespan.windows_spanned(window)
     }
 
+    /// Per-item sojourn times (completion − arrival) in submission order,
+    /// ready for [`crate::LatencySummary::of`].
+    #[must_use]
+    pub fn sojourns(&self) -> Vec<SimTime> {
+        self.items
+            .iter()
+            .map(|i| i.completion.saturating_since(i.arrival))
+            .collect()
+    }
+
     /// Aggregate channel utilisation over the measurement interval (the
     /// whole makespan when none was configured): busy channel-time divided
     /// by `edges × channels × interval`.

@@ -1,0 +1,72 @@
+//! `qla-trace` — logical-ISA instruction traces as first-class workloads.
+//!
+//! Every sim/scheduler scenario used to be a synthetic bursty Toffoli
+//! stream; this crate turns *real programs* into workloads. A [`Trace`]
+//! is an ordered stream of logical instructions (1q/2q Cliffords, T/T†,
+//! Toffoli, prep, measure) over **named** logical qubits, with:
+//!
+//! - a builder + iterator API and a byte-stable text format
+//!   ([`Trace::render`] / [`Trace::parse`], loud typed [`TraceError`]s);
+//! - generators lowered from `qla-shor`'s QCLA adder and modexp
+//!   structure, plus seeded random Clifford+T programs
+//!   ([`generators`]);
+//! - replay adapters that batch hazard-independent instructions and
+//!   drive both the analytic `GreedyScheduler` and the `qla-sim`
+//!   discrete-event engine from the same per-layer EPR demand
+//!   ([`replay`]).
+//!
+//! # Worked example
+//!
+//! Lower a 4-bit carry-lookahead adder onto an 8×8 mesh, plan its
+//! communication windows analytically, then replay it through the
+//! discrete-event simulator — which must spend at least as many windows
+//! as the plan, because it also charges queueing and factory occupancy:
+//!
+//! ```
+//! use qla_trace::generators::qcla_adder;
+//! use qla_trace::{schedule_trace, trace_work_items, Placement, Trace, TraceTraffic};
+//! use qla_sched::Mesh;
+//! use qla_sim::{simulate, SimConfig, SimTime};
+//!
+//! // A real program: 16 Toffolis over 16 named qubits (a0.., b0.., c0..).
+//! let trace = qcla_adder(4);
+//! assert_eq!(trace.counts().toffoli, 16);
+//!
+//! // The text form round-trips byte-for-byte.
+//! let reparsed = Trace::parse(&trace.render()).unwrap();
+//! assert_eq!(reparsed, trace);
+//!
+//! // Lower onto a mesh: hazard layers -> per-gate EPR demand.
+//! let mesh = Mesh::new(8, 8, 2).with_pairs_per_window(2);
+//! let placement = Placement::spread(&mesh, &trace);
+//! let traffic = TraceTraffic::lower(&trace, &mesh, &placement);
+//!
+//! // Analytic plan: greedy window count per hazard layer.
+//! let plan = schedule_trace(&traffic, &mesh);
+//! assert!(plan.total_windows > 0);
+//!
+//! // Discrete-event replay, paced by the plan's layer starts.
+//! let cfg = SimConfig {
+//!     window: SimTime::from_nanos(1_000_000),
+//!     pair_service: SimTime::from_nanos(10_000),
+//!     pairs_per_window: 2,
+//!     channels_per_edge: 4,
+//!     max_in_flight: 64,
+//!     ancilla_capacity: 12,
+//!     ancilla_prep: SimTime::from_nanos(1_000_000),
+//!     measure: None,
+//! };
+//! let items = trace_work_items(&traffic, &plan, cfg.window);
+//! let outcome = simulate(&mesh, &cfg, &items);
+//! assert!(outcome.windows_used(cfg.window) >= plan.total_windows);
+//! ```
+
+pub mod format;
+pub mod generators;
+pub mod replay;
+
+pub use format::{QubitId, Trace, TraceBuilder, TraceError};
+pub use replay::{
+    schedule_trace, trace_work_items, GateTraffic, Placement, TraceSchedule, TraceTraffic,
+    LAYER_WINDOW_BUDGET,
+};

@@ -21,6 +21,7 @@
 //! | [`serve`] | `qla-serve` | newline-delimited-JSON evaluation service: result cache, admission control, service stats |
 //! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
 //! | [`shor`] | `qla-shor` | QCLA, fault-tolerant Toffoli, modular exponentiation, Table 2 |
+//! | [`trace`] | `qla-trace` | logical-ISA instruction traces: text format, program generators, scheduler/sim replay |
 //!
 //! # Quick start
 //!
@@ -50,3 +51,4 @@ pub use qla_serve as serve;
 pub use qla_shor as shor;
 pub use qla_sim as sim;
 pub use qla_stabilizer as stabilizer;
+pub use qla_trace as trace;
