@@ -1,0 +1,437 @@
+//! Criterion bench: the bit-packed stabilizer kernels against the retained
+//! scalar (one-Pauli-per-element) reference implementations.
+//!
+//! Three kernel-level comparisons — Clifford gate layers, generator-row
+//! multiplication, and measurement — at 64/256/1024 qubits, plus the
+//! end-to-end comparison the PR is judged on: the Figure 7 threshold trial
+//! (packed `level1_failure_rate`) against a line-for-line replica of the
+//! seed implementation running on [`ScalarFrame`] with the *same* RNG and
+//! seed. The replica's failure count is asserted equal to the packed
+//! engine's before timing, so the speedup is measured between two programs
+//! with identical observable behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qla_core::ThresholdExperiment;
+use qla_qec::{steane_code, CssCode};
+use qla_stabilizer::reference::{ScalarFrame, ScalarTableau};
+use qla_stabilizer::{CliffordGate, Pauli, PauliString, Tableau};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [64, 256, 1024];
+
+/// One transversal H layer followed by a CNOT chain — the packed engine
+/// updates all `2n` generator rows per gate in `O(n/64)` words.
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_gate_layer");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, &n| {
+            let mut t = Tableau::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    t.apply(CliffordGate::H(q));
+                }
+                for q in 0..n - 1 {
+                    t.apply(CliffordGate::Cnot(q, q + 1));
+                }
+                black_box(&mut t);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, &n| {
+            let mut t = ScalarTableau::new(n);
+            b.iter(|| {
+                for q in 0..n {
+                    t.apply(CliffordGate::H(q));
+                }
+                for q in 0..n - 1 {
+                    t.apply(CliffordGate::Cnot(q, q + 1));
+                }
+                black_box(&mut t);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Generator-row multiplication: the packed product popcounts `±i` masks per
+/// word; the scalar path matches per-qubit Pauli cases.
+fn bench_row_multiply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_row_multiply");
+    for n in SIZES {
+        let a = PauliString::from_support(n, &(0..n).step_by(2).collect::<Vec<_>>(), Pauli::X);
+        let b_row = PauliString::from_support(n, &(0..n).step_by(3).collect::<Vec<_>>(), Pauli::Y);
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, _| {
+            let mut acc = a.clone();
+            b.iter(|| {
+                acc.multiply_by(&b_row);
+                black_box(&mut acc);
+            });
+        });
+        // Scalar reference: the per-qubit single-Pauli product table.
+        let a_paulis: Vec<Pauli> = (0..n).map(|q| a.get(q)).collect();
+        let b_paulis: Vec<Pauli> = (0..n).map(|q| b_row.get(q)).collect();
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            let mut acc = a_paulis.clone();
+            let mut phase = 0u8;
+            b.iter(|| {
+                for (x, y) in acc.iter_mut().zip(&b_paulis) {
+                    let (xa, za) = x.xz();
+                    let (xb, zb) = y.xz();
+                    // i^k phase of the single-qubit product, as in the seed.
+                    let k = match ((xa, za), (xb, zb)) {
+                        ((true, false), (true, true)) | ((true, true), (false, true)) => 1,
+                        ((false, true), (true, true)) | ((true, true), (true, false)) => 3,
+                        ((true, false), (false, true)) => 1,
+                        ((false, true), (true, false)) => 3,
+                        _ => 0,
+                    };
+                    phase = (phase + k) % 4;
+                    *x = x.mul_ignoring_phase(*y);
+                }
+                black_box((&mut acc, &mut phase));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// GHZ preparation and a full measurement cascade: one random collapse, then
+/// `n − 1` deterministic rowsum-heavy measurements.
+fn bench_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_measurement");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = Tableau::new(n);
+                t.apply(CliffordGate::H(0));
+                for q in 0..n - 1 {
+                    t.apply(CliffordGate::Cnot(q, q + 1));
+                }
+                let mut ones = 0usize;
+                for q in 0..n {
+                    if t.measure_with(q, true).value {
+                        ones += 1;
+                    }
+                }
+                black_box(ones)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut t = ScalarTableau::new(n);
+                t.apply(CliffordGate::H(0));
+                for q in 0..n - 1 {
+                    t.apply(CliffordGate::Cnot(q, q + 1));
+                }
+                let mut ones = 0usize;
+                for q in 0..n {
+                    if t.measure_with(q, true).value {
+                        ones += 1;
+                    }
+                }
+                black_box(ones)
+            });
+        });
+    }
+    group.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Seed-replica level-1 trial on the scalar frame (the pre-rewrite hot path,
+// line for line: per-qubit gate loops, Vec syndromes, Vec residuals).
+// ---------------------------------------------------------------------------
+
+/// The seed build's generator, faithfully: one ChaCha8 block per refill and
+/// an out-of-line function call per draw (the seed's `rand_chacha` lived in
+/// another crate with no `#[inline]` and no LTO, so every `next_u32` was a
+/// real call). The keystream is identical to [`ChaCha8Rng`]'s — the
+/// failure-rate equality assert below depends on it.
+struct SeedChaCha8 {
+    state: [u32; 16],
+    block: [u32; 16],
+    index: usize,
+}
+
+impl SeedChaCha8 {
+    fn refill(&mut self) {
+        fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(16);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(12);
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(8);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(7);
+        }
+        let mut working = self.state;
+        for _ in 0..4 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for SeedChaCha8 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (word, chunk) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        SeedChaCha8 {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl rand::RngCore for SeedChaCha8 {
+    #[inline(never)]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    #[inline(never)]
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+fn depolarize<R: Rng + ?Sized>(frame: &mut ScalarFrame, q: usize, p: f64, rng: &mut R) {
+    if p > 0.0 && rng.random::<f64>() < p {
+        match rng.random_range(0..3u8) {
+            0 => frame.inject_x(q),
+            1 => frame.inject_y(q),
+            _ => frame.inject_z(q),
+        }
+    }
+}
+
+fn depolarize_pair<R: Rng + ?Sized>(
+    frame: &mut ScalarFrame,
+    a: usize,
+    b: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    if p > 0.0 && rng.random::<f64>() < p {
+        let idx = rng.random_range(1..16u8);
+        let apply = |frame: &mut ScalarFrame, q: usize, code: u8| match code {
+            1 => frame.inject_x(q),
+            2 => frame.inject_y(q),
+            3 => frame.inject_z(q),
+            _ => {}
+        };
+        apply(frame, a, idx / 4);
+        apply(frame, b, idx % 4);
+    }
+}
+
+fn noisy_ancilla_prep<R: Rng + ?Sized>(frame: &mut ScalarFrame, p: f64, plus: bool, rng: &mut R) {
+    for q in 7..14 {
+        frame.apply(CliffordGate::PrepZ(q));
+        depolarize(frame, q, p, rng);
+    }
+    for q in [10, 8, 7] {
+        frame.apply(CliffordGate::H(q));
+        depolarize(frame, q, p, rng);
+    }
+    let cnots = [
+        (10, 11),
+        (10, 12),
+        (10, 13),
+        (8, 9),
+        (8, 12),
+        (8, 13),
+        (7, 9),
+        (7, 11),
+        (7, 13),
+    ];
+    for (c, t) in cnots {
+        frame.apply(CliffordGate::Cnot(c, t));
+        depolarize_pair(frame, c, t, p, rng);
+    }
+    if plus {
+        for q in 7..14 {
+            frame.apply(CliffordGate::H(q));
+            depolarize(frame, q, p, rng);
+        }
+    }
+}
+
+fn verified_ancilla_prep<R: Rng + ?Sized>(
+    frame: &mut ScalarFrame,
+    p: f64,
+    plus: bool,
+    rng: &mut R,
+) {
+    for attempt in 0..3 {
+        noisy_ancilla_prep(frame, p, plus, rng);
+        let dangerous_weight = (7..14)
+            .filter(|&q| if plus { frame.has_x(q) } else { frame.has_z(q) })
+            .count();
+        let verification_misses = p > 0.0 && rng.random::<f64>() < p;
+        if dangerous_weight < 2 || verification_misses || attempt == 2 {
+            break;
+        }
+    }
+}
+
+fn scalar_has_logical_x_error(code: &CssCode, frame: &ScalarFrame) -> bool {
+    let mut residual: Vec<bool> = (0..code.physical_qubits).map(|q| frame.has_x(q)).collect();
+    let syndrome: Vec<bool> = code
+        .z_stabilizers
+        .iter()
+        .map(|s| s.iter().fold(false, |acc, &q| acc ^ frame.has_x(q)))
+        .collect();
+    if let Some(q) = code.decode_single_x_error(&syndrome) {
+        residual[q] ^= true;
+    }
+    code.logical_z
+        .iter()
+        .fold(false, |acc, &q| acc ^ residual[q])
+}
+
+fn scalar_has_logical_z_error(code: &CssCode, frame: &ScalarFrame) -> bool {
+    let mut residual: Vec<bool> = (0..code.physical_qubits).map(|q| frame.has_z(q)).collect();
+    let syndrome: Vec<bool> = code
+        .x_stabilizers
+        .iter()
+        .map(|s| s.iter().fold(false, |acc, &q| acc ^ frame.has_z(q)))
+        .collect();
+    if let Some(q) = code.decode_single_z_error(&syndrome) {
+        residual[q] ^= true;
+    }
+    code.logical_x
+        .iter()
+        .fold(false, |acc, &q| acc ^ residual[q])
+}
+
+fn scalar_logical_trial<R: Rng + ?Sized>(
+    code: &CssCode,
+    p: f64,
+    movement_error: f64,
+    rng: &mut R,
+) -> bool {
+    let mut frame = ScalarFrame::new(14);
+    for q in 0..7 {
+        depolarize(&mut frame, q, p, rng);
+    }
+    verified_ancilla_prep(&mut frame, p, false, rng);
+    for q in 0..7 {
+        frame.apply(CliffordGate::Cnot(q, 7 + q));
+        depolarize_pair(&mut frame, q, 7 + q, p, rng);
+        depolarize(&mut frame, q, movement_error, rng);
+    }
+    let mut syndrome = Vec::with_capacity(3);
+    for support in &code.z_stabilizers {
+        let mut bit = support
+            .iter()
+            .fold(false, |acc, &q| acc ^ frame.has_x(7 + q));
+        if p > 0.0 && rng.random::<f64>() < p {
+            bit = !bit;
+        }
+        syndrome.push(bit);
+    }
+    if let Some(q) = code.decode_single_x_error(&syndrome) {
+        frame.inject_x(q);
+    }
+    verified_ancilla_prep(&mut frame, p, true, rng);
+    for q in 0..7 {
+        frame.apply(CliffordGate::Cnot(7 + q, q));
+        depolarize_pair(&mut frame, 7 + q, q, p, rng);
+        depolarize(&mut frame, q, movement_error, rng);
+    }
+    let mut syndrome = Vec::with_capacity(3);
+    for support in &code.x_stabilizers {
+        let mut bit = support
+            .iter()
+            .fold(false, |acc, &q| acc ^ frame.has_z(7 + q));
+        if p > 0.0 && rng.random::<f64>() < p {
+            bit = !bit;
+        }
+        syndrome.push(bit);
+    }
+    if let Some(q) = code.decode_single_z_error(&syndrome) {
+        frame.inject_z(q);
+    }
+    scalar_has_logical_x_error(code, &frame) || scalar_has_logical_z_error(code, &frame)
+}
+
+fn scalar_level1_failure_rate(e: &ThresholdExperiment, p: f64) -> f64 {
+    let code = steane_code();
+    let mut rng = SeedChaCha8::seed_from_u64(e.seed ^ p.to_bits());
+    let mut failures = 0usize;
+    for _ in 0..e.trials {
+        if scalar_logical_trial(&code, p, e.movement_error, &mut rng) {
+            failures += 1;
+        }
+    }
+    failures as f64 / e.trials as f64
+}
+
+/// The Figure 7 end-to-end comparison: the packed Monte-Carlo engine against
+/// the seed implementation, equal seeds and trial counts. The two failure
+/// rates are asserted identical before either is timed.
+fn bench_fig7_end_to_end(c: &mut Criterion) {
+    let experiment = ThresholdExperiment {
+        trials: 5_000,
+        ..ThresholdExperiment::default()
+    };
+    let p = 2e-3;
+    assert_eq!(
+        experiment.level1_failure_rate(p),
+        scalar_level1_failure_rate(&experiment, p),
+        "packed and seed-replica engines must agree draw for draw"
+    );
+    let mut group = c.benchmark_group("fig7_level1_5000_trials");
+    group.bench_function("packed", |b| {
+        b.iter(|| black_box(experiment.level1_failure_rate(black_box(p))));
+    });
+    group.bench_function("scalar_seed", |b| {
+        b.iter(|| black_box(scalar_level1_failure_rate(&experiment, black_box(p))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_row_multiply,
+    bench_measurement,
+    bench_fig7_end_to_end
+);
+criterion_main!(benches);

@@ -4,7 +4,9 @@
 //! Before the redesign every binary in `src/bin/` hand-rolled its own
 //! `std::env::args().nth(1)…` parsing; this module is the single replacement.
 //! It understands the unified flag set (`--trials`, `--seed`, `--format`,
-//! `--out-dir`, `--jobs`), a bare positional integer as the trial count (the
+//! `--out-dir`, `--jobs`, and the repeatable `--trace FILE` that swaps
+//! `trace-replay`'s built-in programs for user trace files), a bare
+//! positional integer as the trial count (the
 //! historical calling convention of `fig7_threshold`), and tolerates the
 //! historical ablation flags (`--serial`, `--sweep-bandwidth`,
 //! `--ballistic-baseline`) whose ablations are now always part of the
@@ -23,11 +25,13 @@
 //! so every experiment — and every report's scenario header — sees the
 //! same machine.
 
+use crate::experiments::trace_replay;
 use crate::registry;
 use qla_core::{DynExperiment, Executor, ExperimentContext, MachineSpec};
 use qla_report::{Format, Report};
+use qla_trace::Trace;
 use std::panic::AssertUnwindSafe;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Seed used when the caller does not pass `--seed` (the paper's year).
 pub const DEFAULT_SEED: u64 = 2005;
@@ -54,6 +58,9 @@ pub struct CliArgs {
     pub profile: Option<String>,
     /// Spec file selected with `--spec`.
     pub spec_path: Option<PathBuf>,
+    /// Trace files named with `--trace` (repeatable, in order). Only the
+    /// `trace-replay` experiment accepts them; see [`run_experiment`].
+    pub traces: Vec<PathBuf>,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
 }
@@ -68,6 +75,7 @@ impl Default for CliArgs {
             jobs: None,
             profile: None,
             spec_path: None,
+            traces: Vec::new(),
             positional: Vec::new(),
         }
     }
@@ -114,6 +122,13 @@ impl CliArgs {
                 "--spec" => {
                     let v = iter.next().ok_or("--spec needs a value")?;
                     parsed.spec_path = Some(PathBuf::from(v));
+                }
+                "--trace" => {
+                    let v = iter.next().ok_or("--trace needs a file path")?;
+                    if v.is_empty() {
+                        return Err("--trace file path must not be empty".to_string());
+                    }
+                    parsed.traces.push(PathBuf::from(v));
                 }
                 // Historical ablation flags: the ablations are now always
                 // included in the reports, so these are accepted and ignored.
@@ -276,9 +291,16 @@ fn parse_jobs(source: &str, value: &str) -> Result<usize, String> {
 /// Run one registered experiment under the parsed arguments and emit its
 /// report (stdout, plus a file when `--out-dir` is set).
 ///
+/// With `--trace FILE` (repeatable, `trace-replay` only) the built-in
+/// program registry is replaced by the named trace files: each is loaded
+/// and parsed up front, and any problem — an unreadable file, or a
+/// malformed trace — aborts the run with the file (and, for parse errors,
+/// the 1-based line) named in the message before any simulation starts.
+///
 /// # Errors
-/// Returns a message when the experiment is unknown or the output file
-/// cannot be written.
+/// Returns a message when the experiment is unknown, a `--trace` file is
+/// unreadable or malformed (or given to an experiment other than
+/// `trace-replay`), or the output file cannot be written.
 pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
     let experiment = registry::find(name).ok_or_else(|| {
         format!(
@@ -286,10 +308,39 @@ pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
             registry::names().join(", ")
         )
     })?;
+    if !args.traces.is_empty() {
+        if name != "trace-replay" {
+            return Err(format!(
+                "--trace only applies to the trace-replay experiment, not '{name}'"
+            ));
+        }
+        let traces = load_traces(&args.traces)?;
+        let ctx = args.parallel_context(experiment.default_trials())?;
+        let report = trace_replay::file_replay_report(&ctx, &traces);
+        emit(&report, args)?;
+        return Ok(report);
+    }
     let ctx = args.parallel_context(experiment.default_trials())?;
     let report = experiment.run_report(&ctx);
     emit(&report, args)?;
     Ok(report)
+}
+
+/// Load and parse every `--trace` file, in flag order.
+///
+/// # Errors
+/// Returns a message anchored to the offending file: `cannot read trace
+/// <path>: ...` for I/O problems, and `<path>: trace line N: ...` for the
+/// typed, line-numbered [`qla_trace::TraceError`]s — a bad third file
+/// fails the whole run before any replay work starts.
+pub fn load_traces(paths: &[PathBuf]) -> Result<Vec<Trace>, String> {
+    paths.iter().map(|p| load_trace(p)).collect()
+}
+
+fn load_trace(path: &Path) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace {}: {e}", path.display()))?;
+    Trace::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// What happened to each experiment of a `run-all` invocation.
@@ -339,6 +390,12 @@ pub fn run_experiments(
     experiments: Vec<Box<dyn DynExperiment>>,
     args: &CliArgs,
 ) -> Result<RunAllOutcome, String> {
+    if !args.traces.is_empty() {
+        return Err(
+            "--trace only applies to `run trace-replay`; run-all replays the built-in programs"
+                .to_string(),
+        );
+    }
     let executor = args.executor()?;
     let spec = args.scenario()?;
     let total = experiments.len();

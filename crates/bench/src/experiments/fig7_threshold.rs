@@ -38,7 +38,11 @@ impl Experiment for Fig7Threshold {
         "Monte-Carlo failure rates of one logical gate + EC at recursion levels 1 and 2"
     }
     fn default_trials(&self) -> usize {
-        40_000
+        // 4× the historical 40k: the bit-packed stabilizer kernels run the
+        // sweep ~4× faster, so the default spends the same wall time and
+        // halves the sampling noise in the (2.1 ± 1.8)e-3 crossing band.
+        // Goldens are unaffected — they pin explicit trial counts.
+        160_000
     }
     fn spec_fields(&self) -> &'static [&'static str] {
         &[

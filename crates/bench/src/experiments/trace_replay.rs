@@ -16,6 +16,7 @@ use crate::experiments::trace_support::{replay_trace, ReplayedProgram};
 use qla_core::{Experiment, ExperimentContext};
 use qla_report::{row, Column, Report};
 use qla_trace::generators::{modexp_program, qcla_adder, random_clifford_t};
+use qla_trace::Trace;
 use serde::Serialize;
 
 /// The per-program replay table.
@@ -86,45 +87,85 @@ impl Experiment for TraceReplay {
                 "modexp_multiplier_calls",
                 ctx.spec.sweep.trace.modexp_multiplier_calls as u64,
             )
-            .with_columns([
-                Column::new("program"),
-                Column::new("qubits"),
-                Column::new("ops"),
-                Column::new("toffolis"),
-                Column::new("hazard layers"),
-                Column::new("requests"),
-                Column::with_unit("demand", "pairs"),
-                Column::new("analytic windows"),
-                Column::new("sim windows"),
-                Column::new("queueing excess (windows)"),
-                Column::with_unit("p99 sojourn", "ms"),
-                Column::with_unit("channel util", "%"),
-                Column::with_unit("factory util", "%"),
-            ]);
+            .with_columns(replay_columns());
         for p in &output.programs {
-            r.push_row(row![
-                p.program.as_str(),
-                p.qubits,
-                p.ops,
-                p.toffolis,
-                p.layers,
-                p.requests,
-                p.pairs,
-                p.analytic_windows,
-                p.sim_windows,
-                p.queueing_excess,
-                round2(p.p99_sojourn_ms),
-                round2(p.channel_utilization * 100.0),
-                round2(p.factory_utilization * 100.0)
-            ]);
+            push_program_row(&mut r, p);
         }
-        r.push_note(
-            "each program is ASAP hazard-layered (same-qubit ops serialise, independent ops \
-             batch), lowered onto the machine mesh, window-planned per layer by the greedy \
-             scheduler, then replayed through the discrete-event engine paced by the plan's \
-             layer starts; sim windows >= analytic windows under contention because the sim \
-             also charges queueing, factory occupancy, and admission control",
-        );
+        r.push_note(REPLAY_NOTE);
         r
     }
+}
+
+/// The per-program column set shared by the registry run and the
+/// `--trace FILE` run, so file-driven reports stay diffable against the
+/// built-in ones.
+fn replay_columns() -> [Column; 13] {
+    [
+        Column::new("program"),
+        Column::new("qubits"),
+        Column::new("ops"),
+        Column::new("toffolis"),
+        Column::new("hazard layers"),
+        Column::new("requests"),
+        Column::with_unit("demand", "pairs"),
+        Column::new("analytic windows"),
+        Column::new("sim windows"),
+        Column::new("queueing excess (windows)"),
+        Column::with_unit("p99 sojourn", "ms"),
+        Column::with_unit("channel util", "%"),
+        Column::with_unit("factory util", "%"),
+    ]
+}
+
+/// One [`ReplayedProgram`] as a row of [`replay_columns`].
+fn push_program_row(r: &mut Report, p: &ReplayedProgram) {
+    r.push_row(row![
+        p.program.as_str(),
+        p.qubits,
+        p.ops,
+        p.toffolis,
+        p.layers,
+        p.requests,
+        p.pairs,
+        p.analytic_windows,
+        p.sim_windows,
+        p.queueing_excess,
+        round2(p.p99_sojourn_ms),
+        round2(p.channel_utilization * 100.0),
+        round2(p.factory_utilization * 100.0)
+    ]);
+}
+
+const REPLAY_NOTE: &str =
+    "each program is ASAP hazard-layered (same-qubit ops serialise, independent ops \
+     batch), lowered onto the machine mesh, window-planned per layer by the greedy \
+     scheduler, then replayed through the discrete-event engine paced by the plan's \
+     layer starts; sim windows >= analytic windows under contention because the sim \
+     also charges queueing, factory occupancy, and admission control";
+
+/// Replay caller-supplied traces (the `qla-bench run trace-replay --trace
+/// FILE` path) through the identical lowering → scheduling → simulation
+/// pipeline and report shape as the built-in program registry. One row per
+/// file, in `--trace` order; the report carries the active scenario header
+/// like every registry run.
+#[must_use]
+pub fn file_replay_report(ctx: &ExperimentContext, traces: &[Trace]) -> Report {
+    let machine = ctx.machine();
+    let sim = &ctx.spec.sweep.sim;
+    let programs = ctx
+        .executor
+        .map_indices(traces.len(), |i| replay_trace(&traces[i], &machine, sim));
+    let mut r = Report::new(
+        "trace-replay",
+        "Instruction-trace replay — user-supplied trace files through scheduler and sim",
+    )
+    .with_param("bandwidth", ctx.spec.bandwidth as u64)
+    .with_param("trace_files", traces.len() as u64)
+    .with_columns(replay_columns())
+    .with_scenario(ctx.spec.scenario());
+    for p in &programs {
+        push_program_row(&mut r, p);
+    }
+    r.push_note(REPLAY_NOTE);
+    r
 }

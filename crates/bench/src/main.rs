@@ -4,7 +4,7 @@
 //! qla-bench list
 //! qla-bench describe <experiment>
 //! qla-bench profiles [<name>]
-//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR]
 //! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
 //! ```
 //!
@@ -26,7 +26,7 @@ const USAGE: &str = "usage:
   qla-bench list
   qla-bench describe <experiment>
   qla-bench profiles [<name>]
-  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR]
   qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
   qla-bench serve            [--addr HOST:PORT | --once | --connect HOST:PORT] (see `qla-bench serve --help`)
 
@@ -34,7 +34,10 @@ const USAGE: &str = "usage:
 default: $QLA_JOBS, else 1); output is byte-identical at every job count.
 --profile selects a built-in machine scenario (see `qla-bench profiles`);
 --spec loads one from a key = value file (`qla-bench profiles <name>` prints
-a template). run `qla-bench list` to see the registered experiments.";
+a template). --trace FILE (repeatable, `run trace-replay` only) replays the
+named trace files instead of the built-in programs; malformed files fail
+loudly with the file and line. run `qla-bench list` to see the registered
+experiments.";
 
 fn main() {
     // `serve` has its own flag set (--addr, --once, ...) that CliArgs

@@ -139,7 +139,7 @@ mod tests {
     fn info_mirrors_the_registry_entry() {
         let fig7 = info("fig7-threshold").expect("registered");
         assert_eq!(fig7.name, "fig7-threshold");
-        assert_eq!(fig7.default_trials, 40_000);
+        assert_eq!(fig7.default_trials, 160_000);
         assert!(
             fig7.spec_fields.contains(&"sweep.component_rates"),
             "{:?}",

@@ -25,11 +25,22 @@
 //! measures (2.1 ± 1.8) × 10⁻³.
 
 use crate::executor::Executor;
-use qla_qec::{steane_code, CssCode};
+use qla_qec::{steane_code, CodeMasks};
 use qla_stabilizer::{CliffordGate, PauliFrame};
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Data block: frame qubits `0..7`.
+const DATA_OFFSET: usize = 0;
+/// Ancilla block: frame qubits `7..14`.
+const ANCILLA_OFFSET: usize = 7;
+/// Qubits per Steane block.
+const BLOCK: usize = 7;
+/// The ancilla block as a frame word mask.
+const ANCILLA_MASK: u64 = 0x7F << ANCILLA_OFFSET;
+/// The encoder's pivot qubits (10, 8, 7) as a frame word mask.
+const PIVOT_MASK: u64 = (1 << 10) | (1 << 8) | (1 << 7);
 
 /// Configuration of the threshold experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,11 +81,39 @@ impl ThresholdExperiment {
     /// followed by an error-correction cycle, at component error `p`.
     #[must_use]
     pub fn level1_failure_rate(&self, p: f64) -> f64 {
-        let code = steane_code();
+        // The code is compiled to bit masks once; the frame is allocated once
+        // and reset per trial. Neither touches the RNG, so the draw sequence
+        // is exactly the per-trial sequence of `logical_trial`.
+        let masks = steane_code().bit_masks();
+        let mut frame = PauliFrame::new(2 * BLOCK);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ p.to_bits());
+        // When every stochastic branch of a trial misses — by far the common
+        // case near threshold — no fault is injected, the frame stays clean
+        // and the trial cannot fail. `miss_schedule` lists that fixed draw
+        // sequence as integer thresholds on the raw 53-bit draws, so a probe
+        // clone of the generator can decide "this trial is clean" straight
+        // off the keystream, consuming exactly the draws `logical_trial`
+        // would. Only trials where some branch fires are simulated.
+        let schedule = miss_schedule(p, self.movement_error, &masks);
+        // The probe only pays when clean trials are common; deep above
+        // threshold it is pure overhead, so fall back to direct simulation
+        // there. Skipping the probe never changes a result — it only decides
+        // who consumes the (identical) draws.
+        let all_miss_probability: f64 = schedule
+            .iter()
+            .map(|&t| 1.0 - t as f64 / (1u64 << 53) as f64)
+            .product();
+        let probe_pays = all_miss_probability >= 0.5;
         let mut failures = 0usize;
         for _ in 0..self.trials {
-            if logical_trial(&code, p, self.movement_error, &mut rng) {
+            if probe_pays {
+                let mut probe = rng.clone();
+                if trial_misses_everything(&mut probe, &schedule) {
+                    rng = probe;
+                    continue;
+                }
+            }
+            if logical_trial(&masks, &mut frame, p, self.movement_error, &mut rng) {
                 failures += 1;
             }
         }
@@ -187,6 +226,61 @@ impl ThresholdExperiment {
     }
 }
 
+/// The integer threshold `t` such that `(x >> 11) < t` exactly reproduces
+/// `((x >> 11) as f64) * 2⁻⁵³ < p` — the comparison behind
+/// `rng.random::<f64>() < p` for the 53-bit uniform draws `rand` produces.
+/// Both the int→f64 conversion (≤ 53 bits) and the scaling by a power of two
+/// are exact, so `k·2⁻⁵³ < p  ⟺  k < ⌈p·2⁵³⌉` for every `k` in range.
+fn f53_threshold(p: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    (p * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// The draw sequence of one [`logical_trial`] in which every stochastic
+/// branch misses, as [`f53_threshold`] values in draw order. Mirrors the
+/// trial structure exactly: a draw appears here if and only if the trial
+/// makes it on the all-miss path (`p = 0` and `movement_error = 0` suppress
+/// their draws, as in [`depolarize`]).
+fn miss_schedule(p: f64, movement_error: f64, masks: &CodeMasks) -> Vec<u64> {
+    let tp = f53_threshold(p);
+    let tm = f53_threshold(movement_error);
+    let mut schedule = Vec::new();
+    let component = |n: usize, schedule: &mut Vec<u64>| {
+        if p > 0.0 {
+            schedule.extend(std::iter::repeat_n(tp, n));
+        }
+    };
+    // The transversal logical gate: one fault per data qubit.
+    component(BLOCK, &mut schedule);
+    for (plus, stabilizers) in [
+        (false, masks.z_stabilizer_masks.len()),
+        (true, masks.x_stabilizer_masks.len()),
+    ] {
+        // Clean ancilla prep runs one attempt: the encoder faults (prep fan,
+        // three pivot Hadamards, nine CNOT pairs, plus the Hadamard fan for
+        // |+>_L), then the verification draw.
+        let h_fan = if plus { BLOCK } else { 0 };
+        component(BLOCK + 3 + 9 + h_fan + 1, &mut schedule);
+        // Transversal CNOT: per qubit a two-qubit fault then a movement one.
+        for _ in 0..BLOCK {
+            component(1, &mut schedule);
+            if movement_error > 0.0 {
+                schedule.push(tm);
+            }
+        }
+        // One measurement-flip draw per stabilizer.
+        component(stabilizers, &mut schedule);
+    }
+    schedule
+}
+
+/// Drive `rng` through `schedule`, reporting whether every draw missed its
+/// threshold. Consumes draws exactly as the trial's `rng.random::<f64>() < p`
+/// comparisons would, stopping at the first hit.
+fn trial_misses_everything(rng: &mut ChaCha8Rng, schedule: &[u64]) -> bool {
+    schedule.iter().all(|&t| (rng.next_u64() >> 11) >= t)
+}
+
 /// Inject a depolarising fault on one qubit of the frame with probability `p`.
 fn depolarize<R: Rng + ?Sized>(frame: &mut PauliFrame, q: usize, p: f64, rng: &mut R) {
     if p > 0.0 && rng.random::<f64>() < p {
@@ -230,11 +324,13 @@ fn verified_ancilla_prep<R: Rng + ?Sized>(frame: &mut PauliFrame, p: f64, plus: 
         // Dangerous correlated errors: Z errors on a |0>_L ancilla propagate
         // back onto the data through the transversal CNOT; X errors on a
         // |+>_L ancilla do the same when the ancilla acts as control.
-        let dangerous_weight = (7..14)
-            .filter(|&q| if plus { frame.has_x(q) } else { frame.has_z(q) })
-            .count();
+        let dangerous = if plus {
+            frame.x_bits_at(ANCILLA_OFFSET, BLOCK)
+        } else {
+            frame.z_bits_at(ANCILLA_OFFSET, BLOCK)
+        };
         let verification_misses = p > 0.0 && rng.random::<f64>() < p;
-        if dangerous_weight < 2 || verification_misses || attempt == 2 {
+        if dangerous.count_ones() < 2 || verification_misses || attempt == 2 {
             break;
         }
     }
@@ -243,15 +339,23 @@ fn verified_ancilla_prep<R: Rng + ?Sized>(frame: &mut PauliFrame, p: f64, plus: 
 /// The noisy Steane encoding circuit applied to the ancilla block
 /// (qubits 7..14 of the frame), for |0⟩_L (`plus = false`) or |+⟩_L
 /// (`plus = true`).
+///
+/// Gate layers whose per-qubit operations touch disjoint qubits (the PrepZ
+/// fan, the Hadamard fans) are applied as one bulk mask operation before
+/// their per-qubit noise draws: a fault injected on qubit `a` commutes with a
+/// later one-qubit gate on qubit `b ≠ a`, so the final frame and the RNG
+/// draw sequence are both identical to the fully interleaved circuit. The
+/// nine fan-out CNOTs *share* pivot qubits, so a fault on a pivot propagates
+/// through the later CNOTs — they stay interleaved with their draws.
 fn noisy_ancilla_prep<R: Rng + ?Sized>(frame: &mut PauliFrame, p: f64, plus: bool, rng: &mut R) {
     // Reset the ancilla block.
-    for q in 7..14 {
-        frame.apply(CliffordGate::PrepZ(q));
+    frame.prep_mask(&[ANCILLA_MASK]);
+    for q in ANCILLA_OFFSET..ANCILLA_OFFSET + BLOCK {
         depolarize(frame, q, p, rng);
     }
-    // Pivot Hadamards.
+    // Pivot Hadamards; the draws follow the seed order 10, 8, 7.
+    frame.h_mask(&[PIVOT_MASK]);
     for q in [10, 8, 7] {
-        frame.apply(CliffordGate::H(q));
         depolarize(frame, q, p, rng);
     }
     // Stabilizer fan-out CNOTs (pivot -> support), offset by 7.
@@ -271,8 +375,8 @@ fn noisy_ancilla_prep<R: Rng + ?Sized>(frame: &mut PauliFrame, p: f64, plus: boo
         depolarize_pair(frame, c, t, p, rng);
     }
     if plus {
-        for q in 7..14 {
-            frame.apply(CliffordGate::H(q));
+        frame.h_mask(&[ANCILLA_MASK]);
+        for q in ANCILLA_OFFSET..ANCILLA_OFFSET + BLOCK {
             depolarize(frame, q, p, rng);
         }
     }
@@ -281,64 +385,69 @@ fn noisy_ancilla_prep<R: Rng + ?Sized>(frame: &mut PauliFrame, p: f64, plus: boo
 /// One full level-1 trial: a transversal one-qubit logical gate followed by a
 /// Steane error-correction cycle, with component failure probability `p`.
 /// Returns `true` if a logical error is present after ideal decoding.
+///
+/// The trial runs entirely on the frame's bulk interface: transversal CNOT
+/// blocks are single word operations ([`PauliFrame::cnot_block`] — the pairs
+/// are disjoint, so hoisting the whole block ahead of the per-pair noise
+/// draws changes neither the state nor the draw order), syndromes are mask
+/// parities of one ancilla-window read, and decoding is a table lookup whose
+/// correction mask is XORed straight into the error planes.
 fn logical_trial<R: Rng + ?Sized>(
-    code: &CssCode,
+    masks: &CodeMasks,
+    frame: &mut PauliFrame,
     p: f64,
     movement_error: f64,
     rng: &mut R,
 ) -> bool {
-    let mut frame = PauliFrame::new(14);
+    frame.reset();
 
     // The logical one-qubit gate under test: transversal, one noisy physical
     // gate per data qubit.
-    for q in 0..7 {
-        depolarize(&mut frame, q, p, rng);
+    for q in 0..BLOCK {
+        depolarize(frame, q, p, rng);
     }
 
     // --- X-error syndrome extraction (ancilla in |0>_L, data controls) ---
-    verified_ancilla_prep(&mut frame, p, false, rng);
-    for q in 0..7 {
-        frame.apply(CliffordGate::Cnot(q, 7 + q));
-        depolarize_pair(&mut frame, q, 7 + q, p, rng);
-        depolarize(&mut frame, q, movement_error, rng);
+    verified_ancilla_prep(frame, p, false, rng);
+    frame.cnot_block(DATA_OFFSET, ANCILLA_OFFSET, BLOCK);
+    for q in 0..BLOCK {
+        depolarize_pair(frame, q, ANCILLA_OFFSET + q, p, rng);
+        depolarize(frame, q, movement_error, rng);
     }
-    let mut syndrome = Vec::with_capacity(3);
-    for support in &code.z_stabilizers {
-        let mut bit = support
-            .iter()
-            .fold(false, |acc, &q| acc ^ frame.has_x(7 + q));
+    // Ideal syndrome in one window read, then one measurement-error draw per
+    // stabilizer (same draws as flipping each listed parity in turn).
+    let mut syndrome = CodeMasks::syndrome_index(
+        &masks.z_stabilizer_masks,
+        frame.x_bits_at(ANCILLA_OFFSET, BLOCK),
+    );
+    for i in 0..masks.z_stabilizer_masks.len() {
         if p > 0.0 && rng.random::<f64>() < p {
-            bit = !bit; // measurement error
+            syndrome ^= 1 << i;
         }
-        syndrome.push(bit);
     }
-    if let Some(q) = code.decode_single_x_error(&syndrome) {
-        frame.inject_x(q); // apply the X correction to the data block
-    }
+    frame.xor_rows(&[masks.x_correction[syndrome]], &[0]);
 
     // --- Z-error syndrome extraction (ancilla in |+>_L, ancilla controls) ---
-    verified_ancilla_prep(&mut frame, p, true, rng);
-    for q in 0..7 {
-        frame.apply(CliffordGate::Cnot(7 + q, q));
-        depolarize_pair(&mut frame, 7 + q, q, p, rng);
-        depolarize(&mut frame, q, movement_error, rng);
+    verified_ancilla_prep(frame, p, true, rng);
+    frame.cnot_block(ANCILLA_OFFSET, DATA_OFFSET, BLOCK);
+    for q in 0..BLOCK {
+        depolarize_pair(frame, ANCILLA_OFFSET + q, q, p, rng);
+        depolarize(frame, q, movement_error, rng);
     }
-    let mut syndrome = Vec::with_capacity(3);
-    for support in &code.x_stabilizers {
-        let mut bit = support
-            .iter()
-            .fold(false, |acc, &q| acc ^ frame.has_z(7 + q));
+    let mut syndrome = CodeMasks::syndrome_index(
+        &masks.x_stabilizer_masks,
+        frame.z_bits_at(ANCILLA_OFFSET, BLOCK),
+    );
+    for i in 0..masks.x_stabilizer_masks.len() {
         if p > 0.0 && rng.random::<f64>() < p {
-            bit = !bit;
+            syndrome ^= 1 << i;
         }
-        syndrome.push(bit);
     }
-    if let Some(q) = code.decode_single_z_error(&syndrome) {
-        frame.inject_z(q);
-    }
+    frame.xor_rows(&[0], &[masks.z_correction[syndrome]]);
 
     // Ideal decoding: does a logical error remain on the data block?
-    code.has_logical_x_error(&frame, 0) || code.has_logical_z_error(&frame, 0)
+    masks.has_logical_x_error(frame.x_bits_at(DATA_OFFSET, BLOCK))
+        || masks.has_logical_z_error(frame.z_bits_at(DATA_OFFSET, BLOCK))
 }
 
 #[cfg(test)]
@@ -350,6 +459,28 @@ mod tests {
             trials: 4000,
             seed: 42,
             movement_error: 1.2e-5,
+        }
+    }
+
+    /// The keystream fast path must be invisible: the failure rate computed
+    /// with the all-miss probe equals simulating every trial directly, for
+    /// every noise regime (`p = 0` included, where the component draws
+    /// disappear from the schedule).
+    #[test]
+    fn miss_probe_fast_path_matches_direct_simulation() {
+        let e = quick();
+        for p in [0.0f64, 1e-4, 2e-3, 3e-2] {
+            let masks = steane_code().bit_masks();
+            let mut frame = PauliFrame::new(2 * BLOCK);
+            let mut rng = ChaCha8Rng::seed_from_u64(e.seed ^ p.to_bits());
+            let mut failures = 0usize;
+            for _ in 0..e.trials {
+                if logical_trial(&masks, &mut frame, p, e.movement_error, &mut rng) {
+                    failures += 1;
+                }
+            }
+            let direct = failures as f64 / e.trials as f64;
+            assert_eq!(e.level1_failure_rate(p), direct, "p = {p}");
         }
     }
 

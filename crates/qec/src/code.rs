@@ -118,33 +118,32 @@ impl CssCode {
     /// X error is present after perfect decoding.
     #[must_use]
     pub fn has_logical_x_error(&self, frame: &PauliFrame, offset: usize) -> bool {
-        let mut residual: Vec<bool> = (0..self.physical_qubits)
-            .map(|q| frame.has_x(offset + q))
-            .collect();
         // Perfect decode: correct according to the syndrome, then test overlap
-        // with logical Z.
+        // with logical Z. The correction only matters if it lands on the
+        // logical support, so no residual buffer is materialised.
         let syndrome = self.x_error_syndrome(frame, offset);
-        if let Some(q) = self.decode_single_x_error(&syndrome) {
-            residual[q] ^= true;
-        }
-        self.logical_z
+        let mut parity = self
+            .logical_z
             .iter()
-            .fold(false, |acc, &q| acc ^ residual[q])
+            .fold(false, |acc, &q| acc ^ frame.has_x(offset + q));
+        if let Some(q) = self.decode_single_x_error(&syndrome) {
+            parity ^= self.logical_z.contains(&q);
+        }
+        parity
     }
 
     /// Whether a logical Z error is present after perfect decoding.
     #[must_use]
     pub fn has_logical_z_error(&self, frame: &PauliFrame, offset: usize) -> bool {
-        let mut residual: Vec<bool> = (0..self.physical_qubits)
-            .map(|q| frame.has_z(offset + q))
-            .collect();
         let syndrome = self.z_error_syndrome(frame, offset);
-        if let Some(q) = self.decode_single_z_error(&syndrome) {
-            residual[q] ^= true;
-        }
-        self.logical_x
+        let mut parity = self
+            .logical_x
             .iter()
-            .fold(false, |acc, &q| acc ^ residual[q])
+            .fold(false, |acc, &q| acc ^ frame.has_z(offset + q));
+        if let Some(q) = self.decode_single_z_error(&syndrome) {
+            parity ^= self.logical_x.contains(&q);
+        }
+        parity
     }
 
     /// Validate the code's internal consistency: stabilizers mutually commute,
@@ -192,11 +191,116 @@ impl CssCode {
 }
 
 fn support_to_string(n: usize, support: &[usize], pauli: Pauli) -> PauliString {
-    let mut s = PauliString::identity(n);
-    for &q in support {
-        s.set(q, pauli);
+    PauliString::from_support(n, support, pauli)
+}
+
+/// A bit-mask compilation of a [`CssCode`] over a single ≤ 64-qubit block.
+///
+/// Stabilizer and logical supports become `u64` masks and the single-error
+/// decoders become syndrome-indexed lookup tables of correction masks, so the
+/// Monte-Carlo hot path can extract syndromes, decode, and test for logical
+/// errors with a handful of AND/XOR/popcount operations on frame windows
+/// (see [`qla_stabilizer::PauliFrame::x_bits_at`]) instead of per-qubit
+/// boolean loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeMasks {
+    /// Number of physical qubits in the block (≤ 64).
+    pub n: usize,
+    /// Z-type stabilizer supports as bit masks; parities of an X-error window
+    /// under these masks form the X-error syndrome, lowest generator first.
+    pub z_stabilizer_masks: Vec<u64>,
+    /// X-type stabilizer supports as bit masks (Z-error syndrome).
+    pub x_stabilizer_masks: Vec<u64>,
+    /// Logical X support as a bit mask.
+    pub logical_x_mask: u64,
+    /// Logical Z support as a bit mask.
+    pub logical_z_mask: u64,
+    /// Correction mask per X-error syndrome index (bit i of the index = i-th
+    /// Z stabilizer's parity); zero where the decoder returns no correction.
+    pub x_correction: Vec<u64>,
+    /// Correction mask per Z-error syndrome index.
+    pub z_correction: Vec<u64>,
+}
+
+impl CodeMasks {
+    /// Fold a window of error bits into a syndrome index: bit `i` of the
+    /// result is the parity of the window under the `i`-th mask.
+    #[inline]
+    #[must_use]
+    pub fn syndrome_index(masks: &[u64], window: u64) -> usize {
+        masks.iter().enumerate().fold(0, |acc, (i, &m)| {
+            acc | ((((window & m).count_ones() & 1) as usize) << i)
+        })
     }
-    s
+
+    /// Whether an X-error window carries a logical X error after perfect
+    /// single-error decoding. Equivalent to
+    /// [`CssCode::has_logical_x_error`] on a frame whose block reads back as
+    /// `x_window`.
+    #[inline]
+    #[must_use]
+    pub fn has_logical_x_error(&self, x_window: u64) -> bool {
+        let corrected =
+            x_window ^ self.x_correction[Self::syndrome_index(&self.z_stabilizer_masks, x_window)];
+        (corrected & self.logical_z_mask).count_ones() & 1 == 1
+    }
+
+    /// Whether a Z-error window carries a logical Z error after perfect
+    /// single-error decoding.
+    #[inline]
+    #[must_use]
+    pub fn has_logical_z_error(&self, z_window: u64) -> bool {
+        let corrected =
+            z_window ^ self.z_correction[Self::syndrome_index(&self.x_stabilizer_masks, z_window)];
+        (corrected & self.logical_x_mask).count_ones() & 1 == 1
+    }
+}
+
+impl CssCode {
+    /// Compile the code into [`CodeMasks`] for word-parallel decoding.
+    ///
+    /// # Panics
+    /// Panics if the code has more than 64 physical qubits (the mask view
+    /// covers a single-word block) or more than 16 generators of one type.
+    #[must_use]
+    pub fn bit_masks(&self) -> CodeMasks {
+        assert!(
+            self.physical_qubits <= 64,
+            "bit-mask view needs the block to fit one word, got {} qubits",
+            self.physical_qubits
+        );
+        assert!(
+            self.x_stabilizers.len() <= 16 && self.z_stabilizers.len() <= 16,
+            "bit-mask view supports at most 16 generators per type"
+        );
+        let to_mask = |support: &Vec<usize>| -> u64 {
+            support.iter().fold(0u64, |acc, &q| {
+                assert!(q < self.physical_qubits, "support qubit {q} out of range");
+                acc | (1 << q)
+            })
+        };
+        let z_stabilizer_masks: Vec<u64> = self.z_stabilizers.iter().map(to_mask).collect();
+        let x_stabilizer_masks: Vec<u64> = self.x_stabilizers.iter().map(to_mask).collect();
+        let lut = |stabilizers: &[Vec<usize>], decode: &dyn Fn(&[bool]) -> Option<usize>| {
+            (0..1usize << stabilizers.len())
+                .map(|index| {
+                    let syndrome: Vec<bool> = (0..stabilizers.len())
+                        .map(|i| index >> i & 1 == 1)
+                        .collect();
+                    decode(&syndrome).map_or(0u64, |q| 1 << q)
+                })
+                .collect::<Vec<u64>>()
+        };
+        CodeMasks {
+            n: self.physical_qubits,
+            x_correction: lut(&self.z_stabilizers, &|s| self.decode_single_x_error(s)),
+            z_correction: lut(&self.x_stabilizers, &|s| self.decode_single_z_error(s)),
+            z_stabilizer_masks,
+            x_stabilizer_masks,
+            logical_x_mask: to_mask(&self.logical_x),
+            logical_z_mask: to_mask(&self.logical_z),
+        }
+    }
 }
 
 fn decode_lookup(stabilizers: &[Vec<usize>], n: usize, syndrome: &[bool]) -> Option<usize> {
@@ -264,6 +368,67 @@ mod tests {
             frame.inject_x(q);
         }
         assert!(code.has_logical_x_error(&frame, 0));
+    }
+
+    #[test]
+    fn bit_masks_agree_with_list_decoding_on_every_window() {
+        let code = steane_code();
+        let masks = code.bit_masks();
+        for window in 0u64..128 {
+            let mut frame = PauliFrame::new(7);
+            let mut zframe = PauliFrame::new(7);
+            for q in 0..7 {
+                if window >> q & 1 == 1 {
+                    frame.inject_x(q);
+                    zframe.inject_z(q);
+                }
+            }
+            assert_eq!(
+                masks.has_logical_x_error(window),
+                code.has_logical_x_error(&frame, 0),
+                "x window {window:#09b}"
+            );
+            assert_eq!(
+                masks.has_logical_z_error(window),
+                code.has_logical_z_error(&zframe, 0),
+                "z window {window:#09b}"
+            );
+            let syndrome = code.x_error_syndrome(&frame, 0);
+            let index = CodeMasks::syndrome_index(&masks.z_stabilizer_masks, window);
+            for (i, &bit) in syndrome.iter().enumerate() {
+                assert_eq!(
+                    index >> i & 1 == 1,
+                    bit,
+                    "syndrome bit {i} of {window:#09b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_masks_handle_codes_without_x_stabilizers() {
+        let code = crate::bitflip::bitflip_code();
+        let masks = code.bit_masks();
+        assert!(masks.x_stabilizer_masks.is_empty());
+        assert_eq!(masks.z_correction, vec![0]);
+        for window in 0u64..8 {
+            let mut frame = PauliFrame::new(3);
+            let mut zframe = PauliFrame::new(3);
+            for q in 0..3 {
+                if window >> q & 1 == 1 {
+                    frame.inject_x(q);
+                    zframe.inject_z(q);
+                }
+            }
+            assert_eq!(
+                masks.has_logical_x_error(window),
+                code.has_logical_x_error(&frame, 0)
+            );
+            assert_eq!(
+                masks.has_logical_z_error(window),
+                code.has_logical_z_error(&zframe, 0)
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! around:
 //!
 //! * [`CssCode`] — generic CSS stabilizer codes with syndrome computation and
-//!   single-error lookup decoding ([`code`]).
+//!   single-error lookup decoding, plus the [`CodeMasks`] bit-mask
+//!   compilation (stabilizer supports as `u64` masks, decoders as
+//!   syndrome-indexed correction LUTs) that the Monte-Carlo hot path runs on
+//!   ([`code`]).
 //! * [`steane`] — the Steane [[7,1,3]] code: stabilizers, the |0⟩_L/|+⟩_L
 //!   encoders, transversal logical gates.
 //! * [`bitflip`] — the 3-qubit bit-flip code used illustratively in Figure 4.
@@ -30,7 +33,7 @@ pub mod steane;
 pub mod syndrome;
 pub mod threshold;
 
-pub use code::CssCode;
+pub use code::{CodeMasks, CssCode};
 pub use latency::{EccLatencies, EccLatencyModel, ScheduleShape};
 pub use recursion::ConcatenatedSteane;
 pub use steane::{encode_plus_circuit, encode_zero_circuit, steane_code, TransversalGate};

@@ -240,10 +240,8 @@ mod tests {
         let sim = run_clifford(&circuit, 14);
         // Logical Z on block B should now have a -1 expectation: check that
         // +Z_L(B) does not stabilize while -Z_L(B) does.
-        let mut zl_b = PauliString::identity(14);
-        for q in 7..14 {
-            zl_b.set(q, qla_stabilizer::Pauli::Z);
-        }
+        let zl_b =
+            PauliString::from_support(14, &[7, 8, 9, 10, 11, 12, 13], qla_stabilizer::Pauli::Z);
         assert!(!sim.stabilizes(&zl_b));
         let mut minus = zl_b.clone();
         minus.negate();

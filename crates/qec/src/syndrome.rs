@@ -236,20 +236,13 @@ mod tests {
                     sim.apply_ideal(to_clifford(g));
                 }
             }
-            let mut logical_z = qla_stabilizer::PauliString::identity(14);
-            for q in 0..7 {
-                logical_z.set(q, qla_stabilizer::Pauli::Z);
-            }
+            let logical_z = code.logical_z_string().embed(14, 0);
             assert!(
                 sim.stabilizes(&logical_z),
                 "{et:?} extraction collapsed the data"
             );
             for s in code.z_stabilizer_strings() {
-                let mut embedded = qla_stabilizer::PauliString::identity(14);
-                for q in 0..7 {
-                    embedded.set(q, s.get(q));
-                }
-                assert!(sim.stabilizes(&embedded));
+                assert!(sim.stabilizes(&s.embed(14, 0)));
             }
         }
     }

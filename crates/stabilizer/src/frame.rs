@@ -17,11 +17,17 @@
 //! | PrepZ(q)  | clear both bits                               |
 //! | MeasZ(q)  | outcome flipped iff x(q) set                  |
 //!
-//! This is orders of magnitude faster than tableau simulation (O(1) per gate,
-//! bit-packed) and exactly reproduces the logical-error statistics of the full
-//! simulation for stabilizer circuits with Pauli noise.
+//! The two bit planes are packed 64 qubits per `u64` word, and the bulk
+//! interface operates on whole words: mask-based preparation and transversal
+//! Hadamard ([`PauliFrame::prep_mask`], [`PauliFrame::h_mask`]), block
+//! transversal CNOT ([`PauliFrame::cnot_block`]), packed-row injection
+//! ([`PauliFrame::xor_rows`]), windowed reads
+//! ([`PauliFrame::x_bits_at`]/[`PauliFrame::z_bits_at`]), and mask parities
+//! for syndrome extraction. A transversal operation over a whole code block
+//! is then O(words), not O(qubits) — this is what makes the Figure 7
+//! Monte-Carlo trial a handful of word operations end to end.
 
-use crate::pauli::{Pauli, PauliString};
+use crate::pauli::{tail_mask, words_for, Pauli, PauliString};
 use crate::tableau::CliffordGate;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +38,32 @@ pub struct PauliFrame {
     n: usize,
     x: Vec<u64>,
     z: Vec<u64>,
+}
+
+/// Read up to 64 bits starting at `offset` from a packed plane.
+#[inline]
+fn read_window(words: &[u64], offset: usize, len: usize) -> u64 {
+    debug_assert!(len <= 64);
+    let w = offset / 64;
+    let s = offset % 64;
+    let mut v = words[w] >> s;
+    if s != 0 && w + 1 < words.len() {
+        v |= words[w + 1] << (64 - s);
+    }
+    v & tail_mask(len)
+}
+
+/// XOR up to 64 bits of `v` into a packed plane starting at `offset`.
+#[inline]
+fn xor_window(words: &mut [u64], offset: usize, len: usize, v: u64) {
+    debug_assert!(len <= 64);
+    let v = v & tail_mask(len);
+    let w = offset / 64;
+    let s = offset % 64;
+    words[w] ^= v << s;
+    if s != 0 && s + len > 64 {
+        words[w + 1] ^= v >> (64 - s);
+    }
 }
 
 impl PauliFrame {
@@ -60,6 +92,7 @@ impl PauliFrame {
 
     /// True if an X component is present on qubit `q`.
     #[must_use]
+    #[inline]
     pub fn has_x(&self, q: usize) -> bool {
         let (w, m) = self.idx(q);
         self.x[w] & m != 0
@@ -67,6 +100,7 @@ impl PauliFrame {
 
     /// True if a Z component is present on qubit `q`.
     #[must_use]
+    #[inline]
     pub fn has_z(&self, q: usize) -> bool {
         let (w, m) = self.idx(q);
         self.z[w] & m != 0
@@ -74,29 +108,34 @@ impl PauliFrame {
 
     /// The Pauli error currently on qubit `q`.
     #[must_use]
+    #[inline]
     pub fn error_on(&self, q: usize) -> Pauli {
         Pauli::from_xz(self.has_x(q), self.has_z(q))
     }
 
     /// Toggle an X error on qubit `q`.
+    #[inline]
     pub fn inject_x(&mut self, q: usize) {
         let (w, m) = self.idx(q);
         self.x[w] ^= m;
     }
 
     /// Toggle a Z error on qubit `q`.
+    #[inline]
     pub fn inject_z(&mut self, q: usize) {
         let (w, m) = self.idx(q);
         self.z[w] ^= m;
     }
 
     /// Toggle a Y error on qubit `q`.
+    #[inline]
     pub fn inject_y(&mut self, q: usize) {
         self.inject_x(q);
         self.inject_z(q);
     }
 
     /// Inject an arbitrary Pauli on qubit `q`.
+    #[inline]
     pub fn inject(&mut self, q: usize, p: Pauli) {
         match p {
             Pauli::I => {}
@@ -106,18 +145,161 @@ impl PauliFrame {
         }
     }
 
-    /// Inject a whole Pauli string.
+    /// Inject a whole Pauli string, word-parallel over its bit planes.
     ///
     /// # Panics
     /// Panics if the string length differs from the frame size.
     pub fn inject_string(&mut self, p: &PauliString) {
         assert_eq!(p.len(), self.n, "Pauli string length mismatch");
-        for q in 0..self.n {
-            self.inject(q, p.get(q));
+        for (w, (&xw, &zw)) in p.x_words().iter().zip(p.z_words()).enumerate() {
+            self.x[w] ^= xw;
+            self.z[w] ^= zw;
         }
     }
 
+    /// The packed X-error plane (qubit `q` at bit `q % 64` of word `q / 64`).
+    #[must_use]
+    pub fn x_words(&self) -> &[u64] {
+        &self.x
+    }
+
+    /// The packed Z-error plane.
+    #[must_use]
+    pub fn z_words(&self) -> &[u64] {
+        &self.z
+    }
+
+    /// XOR packed X/Z rows into the frame (the bulk form of
+    /// [`PauliFrame::inject_string`] for callers that already hold words).
+    /// Tail bits beyond `n` in the final word are ignored.
+    ///
+    /// # Panics
+    /// Panics if the row slices don't match the frame's word count.
+    #[inline]
+    pub fn xor_rows(&mut self, xs: &[u64], zs: &[u64]) {
+        assert_eq!(xs.len(), self.x.len(), "x row word count mismatch");
+        assert_eq!(zs.len(), self.z.len(), "z row word count mismatch");
+        let last = self.x.len() - 1;
+        let keep = if self.n == 0 { 0 } else { tail_mask(self.n) };
+        for w in 0..=last {
+            let m = if w == last { keep } else { u64::MAX };
+            self.x[w] ^= xs[w] & m;
+            self.z[w] ^= zs[w] & m;
+        }
+    }
+
+    /// A packed window of up to 64 X bits starting at qubit `offset`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the frame or 64 bits.
+    #[must_use]
+    #[inline]
+    pub fn x_bits_at(&self, offset: usize, len: usize) -> u64 {
+        assert!(len <= 64, "window wider than one word");
+        assert!(offset + len <= self.n, "window out of range");
+        read_window(&self.x, offset, len)
+    }
+
+    /// A packed window of up to 64 Z bits starting at qubit `offset`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the frame or 64 bits.
+    #[must_use]
+    #[inline]
+    pub fn z_bits_at(&self, offset: usize, len: usize) -> u64 {
+        assert!(len <= 64, "window wider than one word");
+        assert!(offset + len <= self.n, "window out of range");
+        read_window(&self.z, offset, len)
+    }
+
+    /// Clear both error bits on every qubit selected by `mask` — a bulk
+    /// transversal `PrepZ` in O(words).
+    ///
+    /// # Panics
+    /// Panics if the mask's word count doesn't match the frame.
+    #[inline]
+    pub fn prep_mask(&mut self, mask: &[u64]) {
+        assert_eq!(mask.len(), self.x.len(), "mask word count mismatch");
+        for (w, &m) in mask.iter().enumerate() {
+            self.x[w] &= !m;
+            self.z[w] &= !m;
+        }
+    }
+
+    /// Swap the X and Z bits on every qubit selected by `mask` — a bulk
+    /// transversal Hadamard in O(words).
+    ///
+    /// # Panics
+    /// Panics if the mask's word count doesn't match the frame.
+    #[inline]
+    pub fn h_mask(&mut self, mask: &[u64]) {
+        assert_eq!(mask.len(), self.x.len(), "mask word count mismatch");
+        for (w, &m) in mask.iter().enumerate() {
+            let diff = (self.x[w] ^ self.z[w]) & m;
+            self.x[w] ^= diff;
+            self.z[w] ^= diff;
+        }
+    }
+
+    /// Transversal CNOT between two equal-length, non-overlapping contiguous
+    /// blocks: `CNOT(control_offset + i, target_offset + i)` for all
+    /// `i < len`, word-parallel (`x[targets] ^= x[controls]`,
+    /// `z[controls] ^= z[targets]`).
+    ///
+    /// # Panics
+    /// Panics if either block runs past the frame or the blocks overlap.
+    #[inline]
+    pub fn cnot_block(&mut self, control_offset: usize, target_offset: usize, len: usize) {
+        assert!(control_offset + len <= self.n, "control block out of range");
+        assert!(target_offset + len <= self.n, "target block out of range");
+        assert!(
+            control_offset + len <= target_offset || target_offset + len <= control_offset,
+            "transversal CNOT blocks must not overlap"
+        );
+        let mut done = 0;
+        while done < len {
+            let chunk = (len - done).min(64);
+            let cx = read_window(&self.x, control_offset + done, chunk);
+            xor_window(&mut self.x, target_offset + done, chunk, cx);
+            let tz = read_window(&self.z, target_offset + done, chunk);
+            xor_window(&mut self.z, control_offset + done, chunk, tz);
+            done += chunk;
+        }
+    }
+
+    /// Parity of the X-error pattern over the qubits selected by `mask`
+    /// (one syndrome bit, in O(words)).
+    ///
+    /// # Panics
+    /// Panics if the mask's word count doesn't match the frame.
+    #[must_use]
+    #[inline]
+    pub fn x_mask_parity(&self, mask: &[u64]) -> bool {
+        assert_eq!(mask.len(), self.x.len(), "mask word count mismatch");
+        mask.iter()
+            .zip(&self.x)
+            .fold(0u32, |acc, (&m, &w)| acc ^ (m & w).count_ones())
+            & 1
+            != 0
+    }
+
+    /// Parity of the Z-error pattern over the qubits selected by `mask`.
+    ///
+    /// # Panics
+    /// Panics if the mask's word count doesn't match the frame.
+    #[must_use]
+    #[inline]
+    pub fn z_mask_parity(&self, mask: &[u64]) -> bool {
+        assert_eq!(mask.len(), self.z.len(), "mask word count mismatch");
+        mask.iter()
+            .zip(&self.z)
+            .fold(0u32, |acc, (&m, &w)| acc ^ (m & w).count_ones())
+            & 1
+            != 0
+    }
+
     /// Propagate the frame through one ideal Clifford gate.
+    #[inline]
     pub fn apply(&mut self, gate: CliffordGate) {
         match gate {
             CliffordGate::H(q) => {
@@ -169,6 +351,7 @@ impl PauliFrame {
     }
 
     /// Overwrite the error on qubit `q`.
+    #[inline]
     pub fn set(&mut self, q: usize, p: Pauli) {
         let (w, m) = self.idx(q);
         let (xv, zv) = p.xz();
@@ -187,16 +370,19 @@ impl PauliFrame {
     /// Whether a Z-basis measurement of qubit `q` would be flipped by the
     /// error currently on it.
     #[must_use]
+    #[inline]
     pub fn measurement_flipped(&self, q: usize) -> bool {
         self.has_x(q)
     }
 
-    /// Number of qubits carrying any error.
+    /// Number of qubits carrying any error (word-parallel popcount).
     #[must_use]
     pub fn weight(&self) -> usize {
-        (0..self.n)
-            .filter(|&q| self.has_x(q) || self.has_z(q))
-            .count()
+        self.x
+            .iter()
+            .zip(&self.z)
+            .map(|(&x, &z)| (x | z).count_ones() as usize)
+            .sum()
     }
 
     /// True if no qubit carries an error.
@@ -206,19 +392,23 @@ impl PauliFrame {
     }
 
     /// Clear all errors.
+    #[inline]
     pub fn reset(&mut self) {
         self.x.fill(0);
         self.z.fill(0);
     }
 
-    /// Extract the frame as a Pauli string.
+    /// Extract the frame as a Pauli string (handing the packed planes over
+    /// whole).
     #[must_use]
     pub fn to_pauli_string(&self) -> PauliString {
-        let mut s = PauliString::identity(self.n);
-        for q in 0..self.n {
-            s.set(q, self.error_on(q));
-        }
-        s
+        let words = words_for(self.n);
+        PauliString::from_words(
+            self.n,
+            self.x[..words].to_vec(),
+            self.z[..words].to_vec(),
+            0,
+        )
     }
 
     /// The X-error pattern restricted to the given set of qubits, as a parity
@@ -329,6 +519,85 @@ mod tests {
         assert!(!f.x_parity(&[2, 5]));
         assert!(f.x_parity(&[2, 3]));
         assert!(!f.z_parity(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn mask_parities_match_listed_parities() {
+        let mut f = PauliFrame::new(70);
+        f.inject_x(2);
+        f.inject_x(65);
+        f.inject_z(64);
+        assert_eq!(f.x_mask_parity(&[1 << 2, 1 << 1]), f.x_parity(&[2, 65]));
+        assert_eq!(f.x_mask_parity(&[1 << 2, 0]), f.x_parity(&[2]));
+        assert_eq!(f.z_mask_parity(&[0, 1]), f.z_parity(&[64]));
+    }
+
+    #[test]
+    fn bulk_prep_and_hadamard_masks() {
+        let mut f = PauliFrame::new(8);
+        f.inject_y(0);
+        f.inject_x(1);
+        f.inject_z(2);
+        f.h_mask(&[0b0110]);
+        assert_eq!(f.error_on(0), Pauli::Y); // outside mask
+        assert_eq!(f.error_on(1), Pauli::Z); // X -> Z
+        assert_eq!(f.error_on(2), Pauli::X); // Z -> X
+        f.prep_mask(&[0b0011]);
+        assert_eq!(f.error_on(0), Pauli::I);
+        assert_eq!(f.error_on(1), Pauli::I);
+        assert_eq!(f.error_on(2), Pauli::X);
+    }
+
+    #[test]
+    fn cnot_block_matches_per_qubit_cnots() {
+        let mut bulk = PauliFrame::new(14);
+        let mut loops = PauliFrame::new(14);
+        for f in [&mut bulk, &mut loops] {
+            f.inject_x(0);
+            f.inject_y(3);
+            f.inject_z(8);
+            f.inject_z(12);
+        }
+        bulk.cnot_block(0, 7, 7);
+        for q in 0..7 {
+            loops.apply(CliffordGate::Cnot(q, 7 + q));
+        }
+        assert_eq!(bulk, loops);
+        // And the reverse direction, across a word boundary for good measure.
+        let mut bulk = PauliFrame::new(130);
+        let mut loops = PauliFrame::new(130);
+        for f in [&mut bulk, &mut loops] {
+            f.inject_x(60);
+            f.inject_z(70);
+            f.inject_y(129);
+        }
+        bulk.cnot_block(65, 0, 65);
+        for q in 0..65 {
+            loops.apply(CliffordGate::Cnot(65 + q, q));
+        }
+        assert_eq!(bulk, loops);
+    }
+
+    #[test]
+    fn xor_rows_matches_inject_string() {
+        let s = PauliString::from_str_repr("XYZIIXZ");
+        let mut a = PauliFrame::new(7);
+        let mut b = PauliFrame::new(7);
+        a.inject_string(&s);
+        b.xor_rows(s.x_words(), s.z_words());
+        assert_eq!(a, b);
+        assert_eq!(a.to_pauli_string(), s);
+    }
+
+    #[test]
+    fn windowed_reads_gather_across_words() {
+        let mut f = PauliFrame::new(130);
+        f.inject_x(60);
+        f.inject_x(64);
+        f.inject_z(61);
+        assert_eq!(f.x_bits_at(60, 7), 0b10001);
+        assert_eq!(f.z_bits_at(60, 7), 0b00010);
+        assert_eq!(f.x_bits_at(0, 64), 1 << 60);
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! The CHP (Aaronson–Gottesman) stabilizer tableau.
+//! The CHP (Aaronson–Gottesman) stabilizer tableau, bit-packed.
 //!
 //! The tableau tracks, for an `n`-qubit system, `n` *destabilizer* and `n`
-//! *stabilizer* generators as rows of symplectic bits plus a sign bit. All
-//! Clifford gates update the tableau in O(n) time; measurement takes O(n²) in
-//! the worst (random-outcome) case. This polynomial cost is what lets ARQ
-//! simulate hundreds of physical ion qubits — a level-2 Steane logical qubit
-//! plus its ancilla blocks — on a workstation.
+//! *stabilizer* generators as rows of symplectic bits plus a sign bit. The
+//! storage is *transposed* into bit planes: for each qubit `q` there is one
+//! packed plane of X bits and one of Z bits, each holding the bit of every
+//! generator row (row `i` at bit `i % 64` of word `i / 64`), and the signs
+//! form one more packed plane. A Clifford gate on a qubit then updates all
+//! `2n` generators with a few word operations per plane word — `O(n/64)` per
+//! gate instead of the `O(n)` row loop of the element-wise layout — and the
+//! random branch of measurement multiplies the anticommuting rows by the
+//! pivot in one word-parallel sweep with bit-sliced (two-bit) phase
+//! counters: `O(n²/64)` worst case. This is what lets ARQ simulate hundreds
+//! of physical ion qubits — a level-2 Steane logical qubit plus its ancilla
+//! blocks — on a workstation.
 
-use crate::pauli::{Pauli, PauliString};
+use crate::pauli::{product_phase_masks, words_for, Pauli, PauliString};
 use serde::{Deserialize, Serialize};
 
 /// A Clifford-group gate (plus preparation), the instruction set of the
@@ -65,20 +72,43 @@ pub struct MeasurementOutcome {
     pub deterministic: bool,
 }
 
-/// The Aaronson–Gottesman tableau for `n` qubits.
+/// The Aaronson–Gottesman tableau for `n` qubits, stored as per-qubit bit
+/// planes over the generator rows.
 ///
-/// Rows `0..n` are destabilizers, rows `n..2n` are stabilizers, and one extra
-/// scratch row is kept for deterministic-measurement evaluation.
+/// Rows `0..n` are destabilizers and rows `n..2n` are stabilizers. For each
+/// qubit the X (and Z) bits of all `2n` rows are packed into
+/// `row_words = ⌈2n/64⌉` consecutive `u64` words, and the per-row signs form
+/// one more `row_words`-word plane. Unused tail bits of every plane are kept
+/// zero, which lets the measurement kernels mask whole words without edge
+/// cases. Deterministic measurement accumulates its scratch row in transient
+/// row-major buffers rather than a stored extra row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tableau {
     n: usize,
-    words: usize,
-    /// X bit-matrix, `(2n + 1) * words` words, row-major.
+    /// Words per plane: enough bits for the `2n` generator rows.
+    row_words: usize,
+    /// X bit planes, `n * row_words` words; plane `q` holds the X bit of
+    /// every row at qubit `q`.
     x: Vec<u64>,
-    /// Z bit-matrix, same shape.
+    /// Z bit planes, same shape.
     z: Vec<u64>,
-    /// Sign bits, one per row (0 = +, 1 = −).
-    r: Vec<bool>,
+    /// Sign plane, one bit per row (0 = +, 1 = −).
+    r: Vec<u64>,
+}
+
+#[inline]
+fn bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 != 0
+}
+
+#[inline]
+fn assign_bit(words: &mut [u64], i: usize, v: bool) {
+    let mask = 1u64 << (i % 64);
+    if v {
+        words[i / 64] |= mask;
+    } else {
+        words[i / 64] &= !mask;
+    }
 }
 
 impl Tableau {
@@ -89,19 +119,18 @@ impl Tableau {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "tableau needs at least one qubit");
-        let words = n.div_ceil(64);
-        let rows = 2 * n + 1;
+        let row_words = words_for(2 * n);
         let mut t = Tableau {
             n,
-            words,
-            x: vec![0; rows * words],
-            z: vec![0; rows * words],
-            r: vec![false; rows],
+            row_words,
+            x: vec![0; n * row_words],
+            z: vec![0; n * row_words],
+            r: vec![0; row_words],
         };
         for i in 0..n {
             // Destabilizer i = X_i, stabilizer i = Z_i.
-            t.set_x(i, i, true);
-            t.set_z(i + n, i, true);
+            assign_bit(t.x_plane_mut(i), i, true);
+            assign_bit(t.z_plane_mut(i), i + n, true);
         }
         t
     }
@@ -113,40 +142,33 @@ impl Tableau {
     }
 
     #[inline]
-    fn bit_index(&self, row: usize, q: usize) -> (usize, u64) {
-        (row * self.words + q / 64, 1u64 << (q % 64))
+    fn x_plane(&self, q: usize) -> &[u64] {
+        &self.x[q * self.row_words..(q + 1) * self.row_words]
+    }
+
+    #[inline]
+    fn z_plane(&self, q: usize) -> &[u64] {
+        &self.z[q * self.row_words..(q + 1) * self.row_words]
+    }
+
+    #[inline]
+    fn x_plane_mut(&mut self, q: usize) -> &mut [u64] {
+        &mut self.x[q * self.row_words..(q + 1) * self.row_words]
+    }
+
+    #[inline]
+    fn z_plane_mut(&mut self, q: usize) -> &mut [u64] {
+        &mut self.z[q * self.row_words..(q + 1) * self.row_words]
     }
 
     #[inline]
     fn get_x(&self, row: usize, q: usize) -> bool {
-        let (idx, mask) = self.bit_index(row, q);
-        self.x[idx] & mask != 0
+        bit(self.x_plane(q), row)
     }
 
     #[inline]
     fn get_z(&self, row: usize, q: usize) -> bool {
-        let (idx, mask) = self.bit_index(row, q);
-        self.z[idx] & mask != 0
-    }
-
-    #[inline]
-    fn set_x(&mut self, row: usize, q: usize, v: bool) {
-        let (idx, mask) = self.bit_index(row, q);
-        if v {
-            self.x[idx] |= mask;
-        } else {
-            self.x[idx] &= !mask;
-        }
-    }
-
-    #[inline]
-    fn set_z(&mut self, row: usize, q: usize, v: bool) {
-        let (idx, mask) = self.bit_index(row, q);
-        if v {
-            self.z[idx] |= mask;
-        } else {
-            self.z[idx] &= !mask;
-        }
+        bit(self.z_plane(q), row)
     }
 
     /// Apply a Clifford gate.
@@ -191,89 +213,87 @@ impl Tableau {
         assert!(q < self.n, "qubit index {q} out of range (n = {})", self.n);
     }
 
-    /// Hadamard gate.
+    /// Hadamard gate: swaps the qubit's X and Z planes, flipping the sign of
+    /// every row carrying a Y — all rows in one word sweep.
     pub fn hadamard(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            let xv = self.get_x(row, q);
-            let zv = self.get_z(row, q);
-            if xv && zv {
-                self.r[row] ^= true;
-            }
-            self.set_x(row, q, zv);
-            self.set_z(row, q, xv);
+        let base = q * self.row_words;
+        for w in 0..self.row_words {
+            let xw = self.x[base + w];
+            let zw = self.z[base + w];
+            self.r[w] ^= xw & zw;
+            self.x[base + w] = zw;
+            self.z[base + w] = xw;
         }
     }
 
-    /// Phase gate S.
+    /// Phase gate S: `Z ← Z ⊕ X` on the qubit's planes, with a sign flip for
+    /// every row carrying a Y.
     pub fn phase(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            let xv = self.get_x(row, q);
-            let zv = self.get_z(row, q);
-            if xv && zv {
-                self.r[row] ^= true;
-            }
-            self.set_z(row, q, zv ^ xv);
+        let base = q * self.row_words;
+        for w in 0..self.row_words {
+            let xw = self.x[base + w];
+            self.r[w] ^= xw & self.z[base + w];
+            self.z[base + w] ^= xw;
         }
     }
 
-    /// Pauli X.
+    /// Pauli X: flips the sign of every row anticommuting with it (Z bit set).
     pub fn pauli_x(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            if self.get_z(row, q) {
-                self.r[row] ^= true;
-            }
+        let base = q * self.row_words;
+        for w in 0..self.row_words {
+            self.r[w] ^= self.z[base + w];
         }
     }
 
-    /// Pauli Z.
+    /// Pauli Z: flips the sign of every row with the X bit set.
     pub fn pauli_z(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            if self.get_x(row, q) {
-                self.r[row] ^= true;
-            }
+        let base = q * self.row_words;
+        for w in 0..self.row_words {
+            self.r[w] ^= self.x[base + w];
         }
     }
 
-    /// Pauli Y.
+    /// Pauli Y: flips the sign of every row carrying an X or a Z (not both).
     pub fn pauli_y(&mut self, q: usize) {
         self.check_qubit(q);
-        for row in 0..2 * self.n {
-            if self.get_x(row, q) ^ self.get_z(row, q) {
-                self.r[row] ^= true;
-            }
+        let base = q * self.row_words;
+        for w in 0..self.row_words {
+            self.r[w] ^= self.x[base + w] ^ self.z[base + w];
         }
     }
 
-    /// Controlled-NOT.
+    /// Controlled-NOT: four plane words in, three out, per word of rows.
     pub fn cnot(&mut self, control: usize, target: usize) {
         self.check_qubit(control);
         self.check_qubit(target);
         assert_ne!(control, target, "CNOT control and target must differ");
-        for row in 0..2 * self.n {
-            let xc = self.get_x(row, control);
-            let zc = self.get_z(row, control);
-            let xt = self.get_x(row, target);
-            let zt = self.get_z(row, target);
-            if xc && zt && (xt == zc) {
-                self.r[row] ^= true;
-            }
-            self.set_x(row, target, xt ^ xc);
-            self.set_z(row, control, zc ^ zt);
+        let cb = control * self.row_words;
+        let tb = target * self.row_words;
+        for w in 0..self.row_words {
+            let xc = self.x[cb + w];
+            let zc = self.z[cb + w];
+            let xt = self.x[tb + w];
+            let zt = self.z[tb + w];
+            self.r[w] ^= xc & zt & !(xt ^ zc);
+            self.x[tb + w] = xt ^ xc;
+            self.z[cb + w] = zc ^ zt;
         }
     }
 
     /// Apply a whole Pauli string as a gate (used for error injection).
     ///
+    /// Walks the string's support, so identity factors cost nothing.
+    ///
     /// # Panics
     /// Panics if the string length does not match the qubit count.
     pub fn apply_pauli_string(&mut self, p: &PauliString) {
         assert_eq!(p.len(), self.n, "Pauli string length mismatch");
-        for q in 0..self.n {
-            match p.get(q) {
+        for (q, pauli) in p.iter_support() {
+            match pauli {
                 Pauli::I => {}
                 Pauli::X => self.pauli_x(q),
                 Pauli::Y => self.pauli_y(q),
@@ -282,105 +302,158 @@ impl Tableau {
         }
     }
 
-    /// The phase-exponent contribution of multiplying row `i` into row `h`
-    /// (the `g` function of Aaronson–Gottesman), accumulated over all qubits;
-    /// returns the new sign of row `h`.
-    fn rowsum_sign(&self, h: usize, i: usize) -> bool {
-        // Phase exponent accumulated modulo 4; signs contribute 2 each.
-        let mut exponent: i64 = 0;
-        if self.r[h] {
-            exponent += 2;
+    /// Lowest row in `lo..2n` whose X bit is set on qubit `q`, if any.
+    /// Relies on plane tail bits beyond row `2n − 1` being zero.
+    fn lowest_x_row_from(&self, q: usize, lo: usize) -> Option<usize> {
+        let plane = self.x_plane(q);
+        for (w, &raw) in plane.iter().enumerate().skip(lo / 64) {
+            let mut word = raw;
+            if w == lo / 64 {
+                word &= u64::MAX << (lo % 64);
+            }
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
         }
-        if self.r[i] {
-            exponent += 2;
-        }
-        for q in 0..self.n {
-            let x1 = self.get_x(i, q);
-            let z1 = self.get_z(i, q);
-            let x2 = self.get_x(h, q);
-            let z2 = self.get_z(h, q);
-            let g: i64 = match (x1, z1) {
-                (false, false) => 0,
-                (true, true) => (i64::from(z2)) - (i64::from(x2)),
-                (true, false) => i64::from(z2) * (2 * i64::from(x2) - 1),
-                (false, true) => i64::from(x2) * (1 - 2 * i64::from(z2)),
-            };
-            exponent += g;
-        }
-        // For stabilizer–stabilizer products the exponent is always even
-        // (commuting Hermitian operators). Destabilizer rows may pick up an
-        // odd exponent when combined with the stabilizer they anticommute
-        // with; their sign is never observable, so mapping ±i to + is safe.
-        exponent.rem_euclid(4) == 2
-    }
-
-    /// Row `h` ← row `h` · row `i` (the Aaronson–Gottesman `rowsum`).
-    fn rowsum(&mut self, h: usize, i: usize) {
-        let new_sign = self.rowsum_sign(h, i);
-        for w in 0..self.words {
-            let xi = self.x[i * self.words + w];
-            let zi = self.z[i * self.words + w];
-            self.x[h * self.words + w] ^= xi;
-            self.z[h * self.words + w] ^= zi;
-        }
-        self.r[h] = new_sign;
+        None
     }
 
     /// Measure qubit `q` in the Z basis. `random_bit` supplies the outcome in
     /// the non-deterministic case.
+    ///
+    /// The random branch multiplies every anticommuting row by the pivot row
+    /// in a single word-parallel sweep over the planes: the Aaronson–Gottesman
+    /// `g` phase contributions are accumulated per row in a bit-sliced two-bit
+    /// counter (64 rows per word operation), `O(n²/64)` total. The
+    /// deterministic branch accumulates the product of the selected stabilizer
+    /// rows in a row-major scratch with the popcount phase trick.
     ///
     /// # Panics
     /// Panics if `q` is out of range.
     pub fn measure_with(&mut self, q: usize, random_bit: bool) -> MeasurementOutcome {
         self.check_qubit(q);
         let n = self.n;
-        // Look for a stabilizer row with an X component on q.
-        let mut p_row = None;
-        for row in n..2 * n {
-            if self.get_x(row, q) {
-                p_row = Some(row);
-                break;
+        let rw = self.row_words;
+        if let Some(p) = self.lowest_x_row_from(q, n) {
+            // Random outcome. Every other row with an X bit on q gets the
+            // pivot row multiplied in (the rowsum), all rows at once.
+            let (pw, pb) = (p / 64, 1u64 << (p % 64));
+            let mut rows = vec![0u64; rw];
+            rows.copy_from_slice(self.x_plane(q));
+            rows[pw] &= !pb;
+            let r_p = bit(&self.r, p);
+            // Bit-sliced phase exponent mod 4 per row: cnt2 is the twos bit,
+            // cnt1 the ones bit. The two sign contributions (2·r_h + 2·r_p)
+            // seed the twos bit.
+            let mut cnt1 = vec![0u64; rw];
+            let mut cnt2 = vec![0u64; rw];
+            let seed = if r_p { u64::MAX } else { 0 };
+            for w in 0..rw {
+                cnt2[w] = (self.r[w] ^ seed) & rows[w];
             }
-        }
-        if let Some(p) = p_row {
-            // Random outcome.
-            for row in 0..2 * n {
-                if row != p && self.get_x(row, q) {
-                    self.rowsum(row, p);
+            for j in 0..n {
+                let base = j * rw;
+                let xp = self.x[base + pw] & pb != 0;
+                let zp = self.z[base + pw] & pb != 0;
+                if !xp && !zp {
+                    continue;
+                }
+                for w in 0..rw {
+                    let mw = rows[w];
+                    if mw == 0 {
+                        continue;
+                    }
+                    let xw = self.x[base + w];
+                    let zw = self.z[base + w];
+                    // The g function of the pivot's Pauli at qubit j against
+                    // all target rows: masks of +1 and −1 contributions.
+                    let (plus, minus) = match (xp, zp) {
+                        (true, true) => (zw & !xw, xw & !zw),
+                        (true, false) => (xw & zw, zw & !xw),
+                        (false, true) => (xw & !zw, xw & zw),
+                        (false, false) => unreachable!(),
+                    };
+                    let plus = plus & mw;
+                    let minus = minus & mw;
+                    let carry = cnt1[w] & plus;
+                    cnt1[w] ^= plus;
+                    cnt2[w] ^= carry;
+                    // Adding 3 ≡ −1: flip the ones bit, adjust the twos bit.
+                    let carry = cnt1[w] & minus;
+                    cnt1[w] ^= minus;
+                    cnt2[w] ^= minus ^ carry;
+                    if xp {
+                        self.x[base + w] ^= mw;
+                    }
+                    if zp {
+                        self.z[base + w] ^= mw;
+                    }
                 }
             }
-            // Destabilizer p-n becomes the old stabilizer row p.
-            for w in 0..self.words {
-                self.x[(p - n) * self.words + w] = self.x[p * self.words + w];
-                self.z[(p - n) * self.words + w] = self.z[p * self.words + w];
+            // Exponent ≡ 2 (mod 4) means a − sign; odd exponents only occur
+            // on destabilizer rows whose sign is unobservable, and map to +.
+            for w in 0..rw {
+                self.r[w] = (self.r[w] & !rows[w]) | (!cnt1[w] & cnt2[w] & rows[w]);
             }
-            self.r[p - n] = self.r[p];
-            // Row p becomes ±Z_q with the random outcome as its sign.
-            for w in 0..self.words {
-                self.x[p * self.words + w] = 0;
-                self.z[p * self.words + w] = 0;
+            // Destabilizer p−n becomes the old stabilizer row p; row p
+            // becomes ±Z_q with the random outcome as its sign.
+            for j in 0..n {
+                let base = j * rw;
+                let xv = self.x[base + pw] & pb != 0;
+                let zv = self.z[base + pw] & pb != 0;
+                assign_bit(&mut self.x[base..base + rw], p - n, xv);
+                assign_bit(&mut self.z[base..base + rw], p - n, zv);
+                self.x[base + pw] &= !pb;
+                self.z[base + pw] &= !pb;
             }
-            self.set_z(p, q, true);
-            self.r[p] = random_bit;
+            let old_sign = bit(&self.r, p);
+            assign_bit(&mut self.r, p - n, old_sign);
+            self.z[q * rw + pw] |= pb;
+            assign_bit(&mut self.r, p, random_bit);
             MeasurementOutcome {
                 value: random_bit,
                 deterministic: false,
             }
         } else {
-            // Deterministic outcome: compute it in the scratch row.
-            let scratch = 2 * n;
-            for w in 0..self.words {
-                self.x[scratch * self.words + w] = 0;
-                self.z[scratch * self.words + w] = 0;
-            }
-            self.r[scratch] = false;
+            // Deterministic outcome: multiply together the stabilizer rows
+            // selected by the destabilizers' X bits on q, tracking the phase
+            // word-parallel in a row-major scratch.
+            let qw = words_for(n);
+            let mut sx = vec![0u64; qw];
+            let mut sz = vec![0u64; qw];
+            let mut rx = vec![0u64; qw];
+            let mut rz = vec![0u64; qw];
+            let mut exponent: i64 = 0;
+            let plane = q * rw;
             for row in 0..n {
-                if self.get_x(row, q) {
-                    self.rowsum(scratch, row + n);
+                if self.x[plane + row / 64] >> (row % 64) & 1 == 0 {
+                    continue;
+                }
+                let src = row + n;
+                rx.iter_mut().for_each(|w| *w = 0);
+                rz.iter_mut().for_each(|w| *w = 0);
+                for j in 0..n {
+                    if self.get_x(src, j) {
+                        rx[j / 64] |= 1 << (j % 64);
+                    }
+                    if self.get_z(src, j) {
+                        rz[j / 64] |= 1 << (j % 64);
+                    }
+                }
+                if bit(&self.r, src) {
+                    exponent += 2;
+                }
+                for w in 0..qw {
+                    let (plus, minus) = product_phase_masks(rx[w], rz[w], sx[w], sz[w]);
+                    exponent += i64::from(plus.count_ones()) - i64::from(minus.count_ones());
+                    sx[w] ^= rx[w];
+                    sz[w] ^= rz[w];
                 }
             }
+            // Products of commuting Hermitian stabilizers keep the exponent
+            // even, so ≡ 2 (mod 4) is exactly the − sign.
             MeasurementOutcome {
-                value: self.r[scratch],
+                value: exponent.rem_euclid(4) == 2,
                 deterministic: true,
             }
         }
@@ -397,7 +470,15 @@ impl Tableau {
     /// True if measuring qubit `q` would give a deterministic outcome.
     #[must_use]
     pub fn is_deterministic(&self, q: usize) -> bool {
-        (self.n..2 * self.n).all(|row| !self.get_x(row, q))
+        let n = self.n;
+        let plane = self.x_plane(q);
+        (n / 64..self.row_words).all(|w| {
+            let mut word = plane[w];
+            if w == n / 64 {
+                word &= u64::MAX << (n % 64);
+            }
+            word == 0
+        })
     }
 
     /// The current stabilizer generators as Pauli strings.
@@ -414,15 +495,23 @@ impl Tableau {
         (0..self.n).map(|row| self.row_string(row)).collect()
     }
 
+    /// Extract generator row `row` as a Pauli string (gathering the row's bit
+    /// from each qubit plane into packed words, then building the string
+    /// whole).
     fn row_string(&self, row: usize) -> PauliString {
-        let mut s = PauliString::identity(self.n);
+        let qw = words_for(self.n);
+        let mut xs = vec![0u64; qw];
+        let mut zs = vec![0u64; qw];
         for q in 0..self.n {
-            s.set(q, Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)));
+            if self.get_x(row, q) {
+                xs[q / 64] |= 1 << (q % 64);
+            }
+            if self.get_z(row, q) {
+                zs[q / 64] |= 1 << (q % 64);
+            }
         }
-        if self.r[row] {
-            s.negate();
-        }
-        s
+        let phase = if bit(&self.r, row) { 2 } else { 0 };
+        PauliString::from_words(self.n, xs, zs, phase)
     }
 
     /// True if the given Pauli string — *including its sign* — is in the
@@ -656,5 +745,21 @@ mod tests {
         let a = t.measure_with(10, true).value;
         let b = t.measure_with(120, false).value;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn row_boundary_sizes_round_trip_through_measurement() {
+        // n = 32 puts the 2n = 64 rows exactly at one plane word; 33 spills
+        // into a second word. Both must behave identically to small cases.
+        for n in [31, 32, 33] {
+            let mut t = Tableau::new(n);
+            t.apply(CliffordGate::H(0));
+            t.apply(CliffordGate::Cnot(0, n - 1));
+            let a = t.measure_with(0, true);
+            assert!(!a.deterministic);
+            let b = t.measure_with(n - 1, false);
+            assert!(b.deterministic);
+            assert_eq!(a.value, b.value);
+        }
     }
 }

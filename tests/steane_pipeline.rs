@@ -59,19 +59,13 @@ fn every_single_error_is_corrected_end_to_end() {
             }
 
             // The data block must again be exactly |0>_L.
-            let mut logical_z = PauliString::identity(14);
-            for q in 0..7 {
-                logical_z.set(q, Pauli::Z);
-            }
+            let logical_z = PauliString::from_support(14, &code.logical_z, Pauli::Z);
             assert!(
                 sim.stabilizes(&logical_z),
                 "logical Z lost after correcting {error:?} on qubit {error_qubit}"
             );
             for support in &code.z_stabilizers {
-                let mut stab = PauliString::identity(14);
-                for &q in support {
-                    stab.set(q, Pauli::Z);
-                }
+                let stab = PauliString::from_support(14, support, Pauli::Z);
                 assert!(sim.stabilizes(&stab), "left the code space");
             }
         }
