@@ -15,8 +15,10 @@
 pub mod channel_bandwidth;
 pub mod ecc_latency;
 pub mod factor128;
+pub mod fault_sweep;
 pub mod fig7_threshold;
 pub mod fig9_connection;
+pub mod multi_tenant_fairness;
 pub mod recursion_analysis;
 pub mod scheduler_utilization;
 pub mod sensitivity;
@@ -30,12 +32,15 @@ pub mod table2_shor;
 pub mod trace_replay;
 pub mod trace_scaling;
 pub mod trace_support;
+pub mod traffic_matrix;
 
 pub use channel_bandwidth::ChannelBandwidth;
 pub use ecc_latency::EccLatency;
 pub use factor128::Factor128Walkthrough;
+pub use fault_sweep::FaultSweep;
 pub use fig7_threshold::Fig7Threshold;
 pub use fig9_connection::Fig9Connection;
+pub use multi_tenant_fairness::MultiTenantFairness;
 pub use recursion_analysis::RecursionAnalysis;
 pub use scheduler_utilization::SchedulerUtilization;
 pub use sensitivity::Sensitivity;
@@ -47,6 +52,7 @@ pub use table1::Table1;
 pub use table2_shor::Table2Shor;
 pub use trace_replay::TraceReplay;
 pub use trace_scaling::TraceScaling;
+pub use traffic_matrix::TrafficMatrixStudy;
 
 /// Two-decimal rounding for rendered table cells (typed outputs keep full
 /// precision). One shared helper so the reports' rendered precision cannot

@@ -96,7 +96,7 @@ impl Experiment for SimVsAnalytic {
             "interconnect.*",
             "sweep.distance_step_cells",
             "sweep.distance_max_cells",
-            "sweep.sim.contended_requests",
+            "sweep.sim.*",
         ]
     }
 

@@ -54,8 +54,7 @@ impl Experiment for TraceReplay {
             "sweep.trace.modexp_multiplier_calls",
             "sweep.trace.random_qubits",
             "sweep.trace.random_ops",
-            "sweep.sim.max_in_flight",
-            "sweep.sim.ancilla_capacity",
+            "sweep.sim.*",
         ]
     }
 

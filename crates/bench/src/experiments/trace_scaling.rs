@@ -61,8 +61,7 @@ impl Experiment for TraceScaling {
             "sweep.trace.scaling_adder_bits",
             "sweep.trace.scaling_modexp_bits",
             "sweep.trace.modexp_multiplier_calls",
-            "sweep.sim.max_in_flight",
-            "sweep.sim.ancilla_capacity",
+            "sweep.sim.*",
         ]
     }
 

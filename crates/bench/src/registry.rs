@@ -6,9 +6,10 @@
 //! and part of `run-all`.
 
 use crate::experiments::{
-    ChannelBandwidth, EccLatency, Factor128Walkthrough, Fig7Threshold, Fig9Connection,
-    RecursionAnalysis, SchedulerUtilization, Sensitivity, ServeLoad, SimOfferedLoad,
-    SimTailLatency, SimVsAnalytic, Table1, Table2Shor, TraceReplay, TraceScaling,
+    ChannelBandwidth, EccLatency, Factor128Walkthrough, FaultSweep, Fig7Threshold, Fig9Connection,
+    MultiTenantFairness, RecursionAnalysis, SchedulerUtilization, Sensitivity, ServeLoad,
+    SimOfferedLoad, SimTailLatency, SimVsAnalytic, Table1, Table2Shor, TraceReplay, TraceScaling,
+    TrafficMatrixStudy,
 };
 use qla_core::DynExperiment;
 
@@ -33,6 +34,9 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(SimVsAnalytic),
         Box::new(TraceReplay),
         Box::new(TraceScaling),
+        Box::new(FaultSweep),
+        Box::new(TrafficMatrixStudy),
+        Box::new(MultiTenantFairness),
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
         Box::new(ServeLoad),

@@ -1,0 +1,83 @@
+//! A committed factor-128-scale instruction trace, replayed end to end.
+//!
+//! The trace-replay experiment's built-in programs are generated fresh on
+//! every run; this test pins one *committed* artefact at the scale of the
+//! paper's headline workload — the 128-bit QCLA carry-lookahead adder
+//! that dominates Shor-128 (512 Toffolis across 777 qubits) — and proves
+//! the `--trace` CLI path replays it deterministically. The fixture
+//! regenerates with the usual flow:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qla-bench --test factor128_trace
+//! ```
+
+use qla_bench::cli::{self, CliArgs};
+use qla_report::Format;
+use std::path::PathBuf;
+
+/// The committed factor-128-scale trace next to this test.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/factor128-qcla-adder.trace")
+}
+
+const FIXTURE: &str = include_str!("data/factor128-qcla-adder.trace");
+
+#[test]
+fn the_committed_trace_is_the_canonical_128_bit_adder() {
+    let generated = qla_trace::generators::qcla_adder(128).render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(fixture_path(), &generated).expect("rewrite fixture");
+        return;
+    }
+    assert_eq!(
+        FIXTURE, generated,
+        "factor128-qcla-adder.trace drifted from qcla_adder(128); regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p qla-bench --test factor128_trace"
+    );
+    // The committed artefact parses back to the same canonical form.
+    let parsed = qla_trace::Trace::parse(FIXTURE).expect("committed trace parses");
+    assert_eq!(parsed.render(), FIXTURE);
+}
+
+#[test]
+fn the_committed_trace_replays_through_the_cli_at_any_job_count() {
+    // The 777-qubit adder does not fit the 400-qubit default profile, so
+    // the replay runs under a factor-128-sized scenario spec — exercising
+    // the same `--spec` path a user would take for this workload.
+    let mut spec = qla_core::MachineSpec::expected();
+    spec.name = "factor128".to_string();
+    spec.logical_qubits = 1024;
+    let dir = std::env::temp_dir().join("qla-factor128-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let spec_path = dir.join("factor128.spec");
+    std::fs::write(&spec_path, spec.render()).expect("write spec");
+    let spec_path = spec_path.to_str().expect("utf-8 path").to_string();
+
+    let path = fixture_path();
+    let path = path.to_str().expect("utf-8 path");
+    let args = |jobs: &str| {
+        CliArgs::parse(
+            ["--trace", path, "--jobs", jobs, "--spec", &spec_path]
+                .iter()
+                .map(ToString::to_string),
+        )
+        .expect("args parse")
+    };
+    let sequential = cli::run_experiment("trace-replay", &args("1")).expect("replay runs");
+    assert_eq!(sequential.name, "trace-replay");
+    assert_eq!(sequential.rows.len(), 1, "one row for the one trace file");
+    let rendered = sequential.render(Format::Text);
+    assert!(rendered.contains("qcla-adder-128"), "{rendered}");
+
+    let parallel = cli::run_experiment("trace-replay", &args("4")).expect("replay runs");
+    assert_eq!(
+        sequential.render(Format::Json),
+        parallel.render(Format::Json),
+        "--jobs changed bytes replaying the committed trace"
+    );
+    assert_eq!(
+        sequential.render(Format::Text),
+        parallel.render(Format::Text),
+        "--jobs changed text bytes replaying the committed trace"
+    );
+}

@@ -205,6 +205,64 @@ fn trace_scaling_json_and_text_are_byte_stable() {
     );
 }
 
+#[test]
+fn fault_sweep_json_and_text_are_byte_stable() {
+    // Same stability argument as sim-offered-load: ChaCha8 arrival streams
+    // built from multiply/add arithmetic, fault timelines compiled onto
+    // integer window boundaries, and an integer-nanosecond engine.
+    let e = registry::find("fault-sweep").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "fault-sweep.json",
+        &report.render(Format::Json),
+        include_str!("golden/fault-sweep.json"),
+    );
+    assert_golden(
+        "fault-sweep.txt",
+        &report.render(Format::Text),
+        include_str!("golden/fault-sweep.txt"),
+    );
+}
+
+#[test]
+fn traffic_matrix_json_and_text_are_byte_stable() {
+    // Endpoint draws are uniform integer ranges on ChaCha8; routing and
+    // the engine are pure integer work, so platform-stable as above.
+    let e = registry::find("traffic-matrix").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "traffic-matrix.json",
+        &report.render(Format::Json),
+        include_str!("golden/traffic-matrix.json"),
+    );
+    assert_golden(
+        "traffic-matrix.txt",
+        &report.render(Format::Text),
+        include_str!("golden/traffic-matrix.txt"),
+    );
+}
+
+#[test]
+fn multi_tenant_fairness_json_and_text_are_byte_stable() {
+    // The tenant workload is RNG-free; quotas and the engine are integer
+    // work, and Jain's index at skew 1 takes the exact bit-equal fast path.
+    let e = registry::find("multi-tenant-fairness").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "multi-tenant-fairness.json",
+        &report.render(Format::Json),
+        include_str!("golden/multi-tenant-fairness.json"),
+    );
+    assert_golden(
+        "multi-tenant-fairness.txt",
+        &report.render(Format::Text),
+        include_str!("golden/multi-tenant-fairness.txt"),
+    );
+}
+
 /// Trial budget of the committed `serve-load` fixtures (the *inner* request
 /// budget each generated request carries). Small, and irrelevant to
 /// stability: the reported service times come from the deterministic

@@ -49,6 +49,6 @@ pub use hash::{content_hash, fnv1a64, mix64};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};
 pub use spec::{
-    EccMode, InterconnectSpec, MachineSpec, SimSpec, SpecError, SweepSpec, TraceSpec,
+    EccMode, FaultSpec, InterconnectSpec, MachineSpec, SimSpec, SpecError, SweepSpec, TraceSpec,
     BUILTIN_PROFILES,
 };

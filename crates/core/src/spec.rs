@@ -221,6 +221,68 @@ impl TraceSpec {
     }
 }
 
+/// The fault-injection and multi-tenant scenario grids (`qla-faults`)
+/// the `fault-sweep`, `traffic-matrix`, and `multi-tenant-fairness`
+/// experiments sweep, carried by the profile so a scenario file can
+/// reshape the stress grid without touching source.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Fault severities the `fault-sweep` experiment scans: the fraction
+    /// of each degraded edge's channels taken away (0 = healthy,
+    /// 1 = full outage).
+    pub severities: Vec<f64>,
+    /// Fraction of mesh edges degraded at each severity.
+    pub degraded_edge_fraction: f64,
+    /// Fault onset, in ECC windows from the start of the run.
+    pub onset_windows: usize,
+    /// Fault duration in ECC windows (capacity recovers afterwards).
+    pub duration_windows: usize,
+    /// Fraction of ancilla-factory slots lost at severity 1 (scaled
+    /// linearly with severity below that).
+    pub factory_loss: f64,
+    /// Offered load (Toffoli gates per window) of the fault-sweep
+    /// background traffic.
+    pub traffic_offered_load: f64,
+    /// Offered load (teleport requests per window) of the traffic-matrix
+    /// streams.
+    pub matrix_offered_load: f64,
+    /// Fraction of mesh nodes forming the hot-spot destination set of
+    /// the hot-spot traffic matrix.
+    pub hotspot_fraction: f64,
+    /// Tenant count of the multi-tenant fairness study.
+    pub tenants: usize,
+    /// Per-tenant admission quota (`max_in_flight` slots) of the
+    /// best-provisioned tenant.
+    pub tenant_quota: usize,
+    /// Quota skews the fairness study scans: tenant quotas shrink from
+    /// `tenant_quota` down to `tenant_quota / skew` across the tenant
+    /// population (1 = equal quotas).
+    pub quota_skews: Vec<f64>,
+}
+
+impl FaultSpec {
+    /// The default stress grid: a quarter of the mesh edges degraded in
+    /// four severity steps up to full outage, a mid-run fault window the
+    /// measurement horizon can observe recovering, and a four-tenant
+    /// population scanned up to an 8× quota skew.
+    #[must_use]
+    pub fn paper() -> Self {
+        FaultSpec {
+            severities: vec![0.0, 0.25, 0.5, 1.0],
+            degraded_edge_fraction: 0.25,
+            onset_windows: 4,
+            duration_windows: 6,
+            factory_loss: 0.5,
+            traffic_offered_load: 2.0,
+            matrix_offered_load: 16.0,
+            hotspot_fraction: 0.125,
+            tenants: 4,
+            tenant_quota: 8,
+            quota_skews: vec![1.0, 2.0, 4.0, 8.0],
+        }
+    }
+}
+
 /// The sweep grids of the parameterised experiments, carried by the profile
 /// so sensitivity studies can widen/narrow them without touching source.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -247,6 +309,8 @@ pub struct SweepSpec {
     pub sim: SimSpec,
     /// Instruction-trace program shapes.
     pub trace: TraceSpec,
+    /// Fault-injection and multi-tenant stress grids.
+    pub fault: FaultSpec,
 }
 
 impl SweepSpec {
@@ -269,6 +333,7 @@ impl SweepSpec {
             toffoli_counts: vec![4, 16, 48],
             sim: SimSpec::paper(),
             trace: TraceSpec::paper(),
+            fault: FaultSpec::paper(),
         }
     }
 }
@@ -707,6 +772,62 @@ impl MachineSpec {
             bits_in_range("sweep.trace.scaling_modexp_bits entries", bits, 4)?;
         }
 
+        let fault = &s.fault;
+        if fault.severities.is_empty() {
+            return Err(SpecError::Invalid(
+                "sweep.fault.severities must list at least one severity".to_string(),
+            ));
+        }
+        for &severity in &fault.severities {
+            prob("sweep.fault.severities entries", severity)?;
+        }
+        let fraction = |key: &str, v: f64| -> Result<(), SpecError> {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(SpecError::Invalid(format!(
+                    "{key} must be a fraction in (0, 1], got {v}"
+                )));
+            }
+            Ok(())
+        };
+        fraction(
+            "sweep.fault.degraded_edge_fraction",
+            fault.degraded_edge_fraction,
+        )?;
+        if fault.duration_windows == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.fault.duration_windows must be at least 1".to_string(),
+            ));
+        }
+        prob("sweep.fault.factory_loss", fault.factory_loss)?;
+        load_in_range(
+            "sweep.fault.traffic_offered_load",
+            fault.traffic_offered_load,
+        )?;
+        load_in_range("sweep.fault.matrix_offered_load", fault.matrix_offered_load)?;
+        fraction("sweep.fault.hotspot_fraction", fault.hotspot_fraction)?;
+        if fault.tenants == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.fault.tenants must be at least 1".to_string(),
+            ));
+        }
+        if fault.tenant_quota == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.fault.tenant_quota must be at least 1".to_string(),
+            ));
+        }
+        if fault.quota_skews.is_empty() {
+            return Err(SpecError::Invalid(
+                "sweep.fault.quota_skews must list at least one skew".to_string(),
+            ));
+        }
+        for &skew in &fault.quota_skews {
+            if !skew.is_finite() || skew < 1.0 {
+                return Err(SpecError::Invalid(format!(
+                    "sweep.fault.quota_skews entries must be at least 1, got {skew}"
+                )));
+            }
+        }
+
         // Finally the machine invariants themselves.
         self.machine().map_err(SpecError::Machine)?;
         Ok(())
@@ -828,6 +949,30 @@ impl MachineSpec {
             "sweep.trace.scaling_modexp_bits",
             int_list(&trace.scaling_modexp_bits),
         );
+        let fault = &s.fault;
+        line("sweep.fault.severities", num_list(&fault.severities));
+        line(
+            "sweep.fault.degraded_edge_fraction",
+            num(fault.degraded_edge_fraction),
+        );
+        line("sweep.fault.onset_windows", fault.onset_windows.to_string());
+        line(
+            "sweep.fault.duration_windows",
+            fault.duration_windows.to_string(),
+        );
+        line("sweep.fault.factory_loss", num(fault.factory_loss));
+        line(
+            "sweep.fault.traffic_offered_load",
+            num(fault.traffic_offered_load),
+        );
+        line(
+            "sweep.fault.matrix_offered_load",
+            num(fault.matrix_offered_load),
+        );
+        line("sweep.fault.hotspot_fraction", num(fault.hotspot_fraction));
+        line("sweep.fault.tenants", fault.tenants.to_string());
+        line("sweep.fault.tenant_quota", fault.tenant_quota.to_string());
+        line("sweep.fault.quota_skews", num_list(&fault.quota_skews));
         out
     }
 
@@ -918,6 +1063,19 @@ impl MachineSpec {
                     random_ops: fields.usize("sweep.trace.random_ops")?,
                     scaling_adder_bits: fields.usize_list("sweep.trace.scaling_adder_bits")?,
                     scaling_modexp_bits: fields.usize_list("sweep.trace.scaling_modexp_bits")?,
+                },
+                fault: FaultSpec {
+                    severities: fields.f64_list("sweep.fault.severities")?,
+                    degraded_edge_fraction: fields.f64("sweep.fault.degraded_edge_fraction")?,
+                    onset_windows: fields.usize("sweep.fault.onset_windows")?,
+                    duration_windows: fields.usize("sweep.fault.duration_windows")?,
+                    factory_loss: fields.f64("sweep.fault.factory_loss")?,
+                    traffic_offered_load: fields.f64("sweep.fault.traffic_offered_load")?,
+                    matrix_offered_load: fields.f64("sweep.fault.matrix_offered_load")?,
+                    hotspot_fraction: fields.f64("sweep.fault.hotspot_fraction")?,
+                    tenants: fields.usize("sweep.fault.tenants")?,
+                    tenant_quota: fields.usize("sweep.fault.tenant_quota")?,
+                    quota_skews: fields.f64_list("sweep.fault.quota_skews")?,
                 },
             },
         };
@@ -1390,6 +1548,62 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("scaling_modexp_bits"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.severities = vec![0.5, 1.5];
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("fault.severities"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.degraded_edge_fraction = 0.0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("degraded_edge_fraction"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.duration_windows = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("duration_windows"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.matrix_offered_load = -2.0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("matrix_offered_load"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.hotspot_fraction = 1.25;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("hotspot_fraction"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.tenants = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("fault.tenants"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.fault.quota_skews = vec![1.0, 0.5];
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("quota_skews"));
 
         let mut spec = MachineSpec::expected();
         spec.tech.failures.double_gate = 1.5;

@@ -1,0 +1,77 @@
+//! Fairness metrics over per-tenant measurements.
+
+/// Jain's fairness index over per-tenant allocations:
+/// `J = (Σxᵢ)² / (n · Σxᵢ²)`.
+///
+/// `J` is 1 when every tenant receives the same allocation and falls
+/// towards `1/n` as one tenant dominates. Allocations here are typically
+/// mean sojourn times, so a *lower* index means the scheduler is serving
+/// some tenants markedly slower than others.
+///
+/// Two edge cases keep the metric exact where the goldens need it to be:
+/// an empty or all-zero population is perfectly fair (1.0), and a
+/// population of bit-identical values short-circuits to exactly 1.0 so
+/// perfectly symmetric workloads are not smudged by floating-point
+/// round-off in the general formula.
+///
+/// # Panics
+/// Panics on a non-finite or negative allocation — those are measurement
+/// bugs, not unfairness.
+#[must_use]
+pub fn jains_index(allocations: &[f64]) -> f64 {
+    for &x in allocations {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "allocations must be finite and non-negative, got {x}"
+        );
+    }
+    let Some(&first) = allocations.first() else {
+        return 1.0;
+    };
+    if allocations.iter().all(|&x| x == first) {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let squares: f64 = allocations.iter().map(|&x| x * x).sum();
+    if squares == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (allocations.len() as f64 * squares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_allocations_are_exactly_fair() {
+        assert_eq!(jains_index(&[]), 1.0);
+        assert_eq!(jains_index(&[5.0]), 1.0);
+        assert_eq!(jains_index(&[0.3, 0.3, 0.3]), 1.0);
+        // Three equal tenants would lose exactness to round-off in the
+        // general formula (n = 3 is not a power of two); the fast path
+        // must keep the index at a bit-exact 1.0.
+        assert_eq!(jains_index(&[0.1, 0.1, 0.1]), 1.0);
+    }
+
+    #[test]
+    fn skewed_allocations_fall_below_one() {
+        let j = jains_index(&[1.0, 1.0, 1.0, 5.0]);
+        assert!(j < 1.0 && j > 0.25, "got {j}");
+        // One tenant hogging everything approaches the 1/n floor.
+        assert!((jains_index(&[0.0, 0.0, 0.0, 9.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_index_matches_the_textbook_formula() {
+        let xs = [4.0, 2.0, 1.0];
+        let expected = (7.0 * 7.0) / (3.0 * 21.0);
+        assert_eq!(jains_index(&xs), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn a_negative_allocation_fails_loudly() {
+        let _ = jains_index(&[1.0, -0.5]);
+    }
+}

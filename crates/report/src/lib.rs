@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fairness;
 pub mod render;
 pub mod report;
 pub mod value;
 
+pub use fairness::jains_index;
 pub use render::{render_csv, render_json, render_text};
 pub use report::{Column, Format, FormatParseError, Report, Scenario};
 pub use value::{json_escape, Value};

@@ -163,6 +163,124 @@ pub struct WorkItem {
     pub ancillas: usize,
     /// The EPR-distribution requests released once the ancillas are ready.
     pub requests: Vec<CommRequest>,
+    /// Owning tenant of the item (0 for single-tenant workloads). Only
+    /// consulted when the [`FaultTimeline`] carries per-tenant quotas.
+    pub tenant: usize,
+}
+
+/// One per-edge channel fault: during `[from, until)` the edge serves at
+/// most `channels` segment jobs per round instead of
+/// [`SimConfig::channels_per_edge`] (`0` is a full outage — rounds run
+/// dark and queued jobs wait for recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChannelFault {
+    /// The degraded mesh edge.
+    pub edge: Edge,
+    /// Fault onset (inclusive).
+    pub from: SimTime,
+    /// Fault end (exclusive): capacity recovers at this instant.
+    pub until: SimTime,
+    /// Surviving channels on the edge during the fault.
+    pub channels: usize,
+}
+
+/// One ancilla-factory capacity fault: during `[from, until)` at most
+/// `capacity` preparation slots may start new blocks (running preparations
+/// finish; `0` stalls the factory until recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FactoryFault {
+    /// Fault onset (inclusive).
+    pub from: SimTime,
+    /// Fault end (exclusive).
+    pub until: SimTime,
+    /// Surviving preparation slots during the fault.
+    pub capacity: usize,
+}
+
+/// The compiled fault scenario a run executes: time-varying channel and
+/// factory capacity plus optional per-tenant admission quotas.
+///
+/// The default (empty) timeline reproduces the healthy engine behaviour
+/// event-for-event — [`simulate`] is exactly [`simulate_faulted`] with an
+/// empty timeline, which is what the zero-fault identity tests pin.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultTimeline {
+    /// Per-edge channel degradations and outages.
+    pub channel_faults: Vec<ChannelFault>,
+    /// Factory capacity losses.
+    pub factory_faults: Vec<FactoryFault>,
+    /// Per-tenant `max_in_flight` admission quotas, indexed by
+    /// [`WorkItem::tenant`]. Empty = no per-tenant limit (single-tenant
+    /// behaviour); when non-empty every item's tenant must index into it.
+    pub tenant_quotas: Vec<usize>,
+}
+
+impl FaultTimeline {
+    /// Whether the timeline changes nothing (no faults, no quotas).
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.channel_faults.is_empty()
+            && self.factory_faults.is_empty()
+            && self.tenant_quotas.is_empty()
+    }
+
+    /// Check the timeline against a mesh, a config, and the offered items.
+    ///
+    /// # Panics
+    /// Panics (loudly, naming the offender) on a fault window that is
+    /// empty or inverted, a fault naming an edge outside the mesh, a
+    /// "fault" that *raises* capacity above the configured healthy value,
+    /// a zero tenant quota, or an item whose tenant does not index into
+    /// the quota table.
+    pub fn validate(&self, mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) {
+        let edges: std::collections::HashSet<Edge> = mesh.edges().into_iter().collect();
+        for fault in &self.channel_faults {
+            assert!(
+                fault.from < fault.until,
+                "channel fault window [{:?}, {:?}) is empty",
+                fault.from,
+                fault.until
+            );
+            assert!(
+                edges.contains(&fault.edge),
+                "channel fault names edge {:?} outside the mesh",
+                fault.edge
+            );
+            assert!(
+                fault.channels <= cfg.channels_per_edge,
+                "channel fault leaves {} channels but the edge only has {}",
+                fault.channels,
+                cfg.channels_per_edge
+            );
+        }
+        for fault in &self.factory_faults {
+            assert!(
+                fault.from < fault.until,
+                "factory fault window [{:?}, {:?}) is empty",
+                fault.from,
+                fault.until
+            );
+            assert!(
+                fault.capacity <= cfg.ancilla_capacity,
+                "factory fault leaves {} slots but the factory only has {}",
+                fault.capacity,
+                cfg.ancilla_capacity
+            );
+        }
+        if !self.tenant_quotas.is_empty() {
+            for (tenant, &quota) in self.tenant_quotas.iter().enumerate() {
+                assert!(quota >= 1, "tenant {tenant} quota must be at least 1");
+            }
+            for item in items {
+                assert!(
+                    item.tenant < self.tenant_quotas.len(),
+                    "work item tenant {} outside the {}-entry quota table",
+                    item.tenant,
+                    self.tenant_quotas.len()
+                );
+            }
+        }
+    }
 }
 
 /// Per-request timings of a finished run.
@@ -189,6 +307,8 @@ pub struct ItemOutcome {
     pub released: SimTime,
     /// When its last request completed.
     pub completion: SimTime,
+    /// Owning tenant (copied from [`WorkItem::tenant`]).
+    pub tenant: usize,
 }
 
 /// Everything a finished run reports.
@@ -229,6 +349,21 @@ impl SimOutcome {
             .iter()
             .map(|i| i.completion.saturating_since(i.arrival))
             .collect()
+    }
+
+    /// Sojourn times split by tenant (each inner list in submission
+    /// order), ready for a per-tenant fairness metric. Tenants past the
+    /// requested count are rejected loudly rather than silently dropped.
+    ///
+    /// # Panics
+    /// Panics if an item's tenant is `>= tenants`.
+    #[must_use]
+    pub fn sojourns_by_tenant(&self, tenants: usize) -> Vec<Vec<SimTime>> {
+        let mut out = vec![Vec::new(); tenants];
+        for i in &self.items {
+            out[i.tenant].push(i.completion.saturating_since(i.arrival));
+        }
+        out
     }
 
     /// Aggregate channel utilisation over the measurement interval (the
@@ -281,6 +416,10 @@ enum Event {
     RoundStart(usize),
     /// A round's batch of segment jobs (request ids) finished on an edge.
     BatchDone(usize, Vec<usize>),
+    /// A factory fault ended: capacity is back, re-kick the factory.
+    /// (Edges need no such event — a queued edge keeps scheduling rounds
+    /// through an outage, so it re-probes its capacity every slot.)
+    FactoryRecovered,
 }
 
 struct ItemState {
@@ -290,6 +429,7 @@ struct ItemState {
     ancillas_left: usize,
     requests_left: usize,
     requests: Vec<CommRequest>,
+    tenant: usize,
 }
 
 struct RequestState {
@@ -313,6 +453,11 @@ struct Simulator<'a> {
     mesh: &'a Mesh,
     edge_index: HashMap<Edge, usize>,
     edges: Vec<EdgeState>,
+    /// Channel faults per edge index, `(from, until, channels)`.
+    edge_faults: Vec<Vec<(SimTime, SimTime, usize)>>,
+    factory_faults: &'a [FactoryFault],
+    tenant_quotas: &'a [usize],
+    tenant_in_flight: Vec<usize>,
     events: EventQueue<Event>,
     items: Vec<ItemState>,
     requests: Vec<RequestState>,
@@ -340,13 +485,40 @@ struct Simulator<'a> {
 /// a request names a node outside the mesh.
 #[must_use]
 pub fn simulate(mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) -> SimOutcome {
+    simulate_faulted(mesh, cfg, items, &FaultTimeline::default())
+}
+
+/// Run the simulator under a compiled fault scenario: time-varying channel
+/// and factory capacity plus per-tenant admission quotas.
+///
+/// An empty (default) timeline reproduces [`simulate`] event-for-event —
+/// the zero-fault identity the acceptance tests pin. Faults never drop
+/// work: a job queued on an outaged edge waits for recovery, so the run
+/// still drains and degradation shows up as sojourn time and makespan.
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SimConfig::validate`]),
+/// the timeline is inconsistent (see [`FaultTimeline::validate`]), or a
+/// request names a node outside the mesh.
+#[must_use]
+pub fn simulate_faulted(
+    mesh: &Mesh,
+    cfg: &SimConfig,
+    items: &[WorkItem],
+    faults: &FaultTimeline,
+) -> SimOutcome {
     cfg.validate();
+    faults.validate(mesh, cfg, items);
     let mesh_edges = mesh.edges();
     let edge_index: HashMap<Edge, usize> = mesh_edges
         .iter()
         .enumerate()
         .map(|(i, &e)| (e, i))
         .collect();
+    let mut edge_faults: Vec<Vec<(SimTime, SimTime, usize)>> = vec![Vec::new(); mesh_edges.len()];
+    for fault in &faults.channel_faults {
+        edge_faults[edge_index[&fault.edge]].push((fault.from, fault.until, fault.channels));
+    }
     let mut sim = Simulator {
         cfg,
         mesh,
@@ -359,6 +531,10 @@ pub fn simulate(mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) -> SimOutcome 
             })
             .collect(),
         edge_index,
+        edge_faults,
+        factory_faults: &faults.factory_faults,
+        tenant_quotas: &faults.tenant_quotas,
+        tenant_in_flight: vec![0; faults.tenant_quotas.len()],
         events: EventQueue::new(),
         items: items
             .iter()
@@ -369,6 +545,7 @@ pub fn simulate(mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) -> SimOutcome 
                 ancillas_left: w.ancillas,
                 requests_left: w.requests.len(),
                 requests: w.requests.clone(),
+                tenant: w.tenant,
             })
             .collect(),
         requests: Vec::new(),
@@ -382,6 +559,12 @@ pub fn simulate(mesh: &Mesh, cfg: &SimConfig, items: &[WorkItem]) -> SimOutcome 
         measured_busy_factory_ns: 0,
         makespan: SimTime::ZERO,
     };
+    // A stalled factory (capacity fault with no preparation in flight)
+    // has no event of its own to wake it; schedule the recovery instants
+    // up front. Edges need none — see [`Event::FactoryRecovered`].
+    for fault in &faults.factory_faults {
+        sim.events.push(fault.until, Event::FactoryRecovered);
+    }
     for (i, item) in items.iter().enumerate() {
         sim.events.push(item.arrival, Event::Arrival(i));
     }
@@ -403,6 +586,7 @@ pub fn simulate_requests(
             arrival,
             ancillas: 0,
             requests: vec![request],
+            tenant: 0,
         })
         .collect();
     simulate(mesh, cfg, &items)
@@ -416,6 +600,7 @@ impl Simulator<'_> {
                 Event::AncillaDone(item) => self.on_ancilla_done(item, now),
                 Event::RoundStart(edge) => self.on_round_start(edge, now),
                 Event::BatchDone(edge, jobs) => self.on_batch_done(edge, &jobs, now),
+                Event::FactoryRecovered => self.factory_kick(now),
             }
         }
         let requests = self
@@ -436,6 +621,7 @@ impl Simulator<'_> {
                 arrival: i.arrival,
                 released: i.released,
                 completion: i.completed.expect("the event loop drains every item"),
+                tenant: i.tenant,
             })
             .collect();
         SimOutcome {
@@ -451,8 +637,40 @@ impl Simulator<'_> {
         }
     }
 
+    /// Surviving channels on `edge` at instant `t` (the minimum over every
+    /// covering fault, so overlapping faults compose conservatively).
+    fn channels_at(&self, edge: usize, t: SimTime) -> usize {
+        let mut channels = self.cfg.channels_per_edge;
+        for &(from, until, surviving) in &self.edge_faults[edge] {
+            if from <= t && t < until {
+                channels = channels.min(surviving);
+            }
+        }
+        channels
+    }
+
+    /// Factory slots allowed to *start* a preparation at instant `t`.
+    fn factory_capacity_at(&self, t: SimTime) -> usize {
+        let mut capacity = self.cfg.ancilla_capacity;
+        for fault in self.factory_faults {
+            if fault.from <= t && t < fault.until {
+                capacity = capacity.min(fault.capacity);
+            }
+        }
+        capacity
+    }
+
+    /// Whether `item` fits under both the global and its tenant's quota.
+    fn admissible(&self, item: usize) -> bool {
+        self.in_flight < self.cfg.max_in_flight
+            && (self.tenant_quotas.is_empty() || {
+                let tenant = self.items[item].tenant;
+                self.tenant_in_flight[tenant] < self.tenant_quotas[tenant]
+            })
+    }
+
     fn on_arrival(&mut self, item: usize, now: SimTime) {
-        if self.in_flight < self.cfg.max_in_flight {
+        if self.admissible(item) {
             self.admit(item, now);
         } else {
             self.backlog.push_back(item);
@@ -461,6 +679,9 @@ impl Simulator<'_> {
 
     fn admit(&mut self, item: usize, now: SimTime) {
         self.in_flight += 1;
+        if !self.tenant_quotas.is_empty() {
+            self.tenant_in_flight[self.items[item].tenant] += 1;
+        }
         if self.items[item].ancillas_left == 0 {
             self.release_requests(item, now);
         } else {
@@ -471,8 +692,24 @@ impl Simulator<'_> {
         }
     }
 
+    /// Admit backlogged items while capacity allows: the first (oldest)
+    /// admissible item each pass, so the backlog stays FIFO per tenant and
+    /// a quota-blocked tenant never blocks the others. Without quotas this
+    /// reduces to plain `pop_front` — the backlog is only ever non-empty
+    /// when the global limit binds, so at most one item frees per
+    /// completion and order is untouched.
+    fn drain_backlog(&mut self, now: SimTime) {
+        while self.in_flight < self.cfg.max_in_flight {
+            let Some(pos) = self.backlog.iter().position(|&item| self.admissible(item)) else {
+                break;
+            };
+            let item = self.backlog.remove(pos).expect("position is in range");
+            self.admit(item, now);
+        }
+    }
+
     fn factory_kick(&mut self, now: SimTime) {
-        while self.factory_busy < self.cfg.ancilla_capacity {
+        while self.factory_busy < self.factory_capacity_at(now) {
             let Some(item) = self.factory_queue.pop_front() else {
                 break;
             };
@@ -540,10 +777,14 @@ impl Simulator<'_> {
     }
 
     fn on_round_start(&mut self, edge: usize, now: SimTime) {
+        // A degraded edge serves a smaller batch; an outaged edge (zero
+        // surviving channels) runs the round dark and re-probes at the
+        // next slot, so queued jobs simply wait out the fault.
+        let capacity = self.channels_at(edge, now);
         let served = {
             let e = &mut self.edges[edge];
             e.round_pending = false;
-            let batch = e.queue.len().min(self.cfg.channels_per_edge);
+            let batch = e.queue.len().min(capacity);
             let jobs: Vec<usize> = e.queue.drain(..batch).collect();
             e.busy_until = now + self.cfg.pair_service;
             jobs
@@ -578,9 +819,10 @@ impl Simulator<'_> {
         self.items[item].completed = Some(now);
         self.makespan = self.makespan.max(now);
         self.in_flight -= 1;
-        if let Some(next) = self.backlog.pop_front() {
-            self.admit(next, now);
+        if !self.tenant_quotas.is_empty() {
+            self.tenant_in_flight[self.items[item].tenant] -= 1;
         }
+        self.drain_backlog(now);
     }
 
     fn account_channels(&mut self, batch: usize, from: SimTime, to: SimTime) {
@@ -786,6 +1028,7 @@ mod tests {
             arrival: SimTime::ZERO,
             ancillas: 6,
             requests: vec![request(0, 2, 4)],
+            tenant: 0,
         }];
         let out = simulate(&mesh, &c, &items);
         // 6 sequential preps of 1000 ns gate the release.
@@ -812,6 +1055,7 @@ mod tests {
                 arrival: SimTime::ZERO,
                 ancillas: 0,
                 requests: vec![request(0, 1, 4)],
+                tenant: 0,
             })
             .collect();
         let out = simulate(&mesh, &c, &items);
@@ -832,6 +1076,7 @@ mod tests {
                 arrival: at(137 * i as u64),
                 ancillas: 2,
                 requests: vec![request(i % 16, (5 * i + 3) % 16, 9)],
+                tenant: 0,
             })
             .collect();
         let first = simulate(&mesh, &c, &items);
@@ -867,5 +1112,178 @@ mod tests {
             ..cfg()
         };
         let _ = simulate(&mesh, &bad, &[]);
+    }
+
+    fn two_node_edge(mesh: &Mesh) -> Edge {
+        let edges = mesh.edges();
+        assert_eq!(edges.len(), 1);
+        edges[0]
+    }
+
+    #[test]
+    fn an_empty_fault_timeline_reproduces_simulate_exactly() {
+        let mesh = Mesh::new(4, 4, 2);
+        let c = cfg();
+        let items: Vec<WorkItem> = (0..8)
+            .map(|i| WorkItem {
+                arrival: at(137 * i as u64),
+                ancillas: 2,
+                requests: vec![request(i % 16, (5 * i + 3) % 16, 9)],
+                tenant: 0,
+            })
+            .collect();
+        assert_eq!(
+            simulate(&mesh, &c, &items),
+            simulate_faulted(&mesh, &c, &items, &FaultTimeline::default()),
+            "a healthy timeline must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn a_channel_outage_parks_jobs_until_recovery() {
+        let mesh = Mesh::new(2, 1, 1);
+        let c = cfg();
+        let faults = FaultTimeline {
+            channel_faults: vec![ChannelFault {
+                edge: two_node_edge(&mesh),
+                from: SimTime::ZERO,
+                until: at(1_000),
+                channels: 0,
+            }],
+            ..FaultTimeline::default()
+        };
+        let items = [WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 0,
+            requests: vec![request(0, 1, 4)],
+            tenant: 0,
+        }];
+        // Healthy: one 4-pair round completes at s = 100 ns. Outaged: the
+        // first serving round is the first slot at/after recovery.
+        assert_eq!(simulate(&mesh, &c, &items).makespan, at(100));
+        let out = simulate_faulted(&mesh, &c, &items, &faults);
+        assert_eq!(out.makespan, at(1_100));
+    }
+
+    #[test]
+    fn a_degraded_edge_serves_smaller_batches_then_recovers() {
+        let mesh = Mesh::new(2, 1, 1);
+        let c = cfg();
+        let faults = FaultTimeline {
+            channel_faults: vec![ChannelFault {
+                edge: two_node_edge(&mesh),
+                from: SimTime::ZERO,
+                until: at(150),
+                channels: 1,
+            }],
+            ..FaultTimeline::default()
+        };
+        let items = [WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 0,
+            requests: vec![request(0, 1, 4)],
+            tenant: 0,
+        }];
+        // The rounds starting at 0 and 100 ns fall inside the fault and
+        // serve 1 job each; the round at 200 ns is past it and serves the
+        // remaining 2 at full width.
+        let out = simulate_faulted(&mesh, &c, &items, &faults);
+        assert_eq!(out.makespan, at(300));
+        // And work arriving after recovery is completely unaffected.
+        let late = [WorkItem {
+            arrival: at(2_000),
+            ancillas: 0,
+            requests: vec![request(0, 1, 4)],
+            tenant: 0,
+        }];
+        assert_eq!(
+            simulate_faulted(&mesh, &c, &late, &faults),
+            simulate(&mesh, &c, &late),
+            "a past fault must leave later traffic untouched"
+        );
+    }
+
+    #[test]
+    fn a_factory_fault_stalls_preparations_until_recovery() {
+        let mesh = Mesh::new(3, 1, 1);
+        let c = cfg();
+        let faults = FaultTimeline {
+            factory_faults: vec![FactoryFault {
+                from: SimTime::ZERO,
+                until: at(5_000),
+                capacity: 0,
+            }],
+            ..FaultTimeline::default()
+        };
+        let items = [WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 1,
+            requests: vec![],
+            tenant: 0,
+        }];
+        // Healthy: the single prep runs [0, 1000). Stalled: it cannot
+        // start before the recovery instant at 5000 ns.
+        assert_eq!(simulate(&mesh, &c, &items).items[0].released, at(1_000));
+        let out = simulate_faulted(&mesh, &c, &items, &faults);
+        assert_eq!(out.items[0].released, at(6_000));
+    }
+
+    #[test]
+    fn tenant_quotas_gate_admission_per_tenant() {
+        let mesh = Mesh::new(2, 1, 1);
+        let c = cfg();
+        let item = |tenant: usize| WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 0,
+            requests: vec![request(0, 1, 4)],
+            tenant,
+        };
+        let items = [item(0), item(0), item(1), item(1)];
+        let faults = FaultTimeline {
+            tenant_quotas: vec![1, 2],
+            ..FaultTimeline::default()
+        };
+        let out = simulate_faulted(&mesh, &c, &items, &faults);
+        // Tenant 1's two items are admitted immediately; tenant 0's second
+        // waits for its first to finish (quota 1) even though the global
+        // limit never binds.
+        assert_eq!(out.items[0].released, SimTime::ZERO);
+        assert_eq!(out.items[2].released, SimTime::ZERO);
+        assert_eq!(out.items[3].released, SimTime::ZERO);
+        assert_eq!(out.items[1].released, out.items[0].completion);
+        assert_eq!(out.items[1].tenant, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 1-entry quota table")]
+    fn an_out_of_table_tenant_fails_loudly() {
+        let mesh = Mesh::new(2, 1, 1);
+        let items = [WorkItem {
+            arrival: SimTime::ZERO,
+            ancillas: 0,
+            requests: vec![request(0, 1, 1)],
+            tenant: 1,
+        }];
+        let faults = FaultTimeline {
+            tenant_quotas: vec![4],
+            ..FaultTimeline::default()
+        };
+        let _ = simulate_faulted(&mesh, &cfg(), &items, &faults);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn a_fault_on_a_foreign_edge_fails_loudly() {
+        let mesh = Mesh::new(2, 1, 1);
+        let faults = FaultTimeline {
+            channel_faults: vec![ChannelFault {
+                edge: Edge::new(40, 41),
+                from: SimTime::ZERO,
+                until: at(100),
+                channels: 0,
+            }],
+            ..FaultTimeline::default()
+        };
+        let _ = simulate_faulted(&mesh, &cfg(), &[], &faults);
     }
 }

@@ -97,6 +97,7 @@ pub fn toffoli_work_items(mesh: &Mesh, arrivals: &[(SimTime, ToffoliSite)]) -> V
             arrival: *arrival,
             ancillas: TOFFOLI_ANCILLA_QUBITS,
             requests: site.requests(mesh),
+            tenant: 0,
         })
         .collect()
 }

@@ -274,6 +274,7 @@ pub fn trace_work_items(
                 arrival,
                 ancillas: gate.ancillas,
                 requests: gate.requests.clone(),
+                tenant: 0,
             });
         }
         start_windows += windows;

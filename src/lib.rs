@@ -17,6 +17,7 @@
 //! | [`network`] | `qla-network` | EPR pairs, purification, repeaters, connection-time model (Fig. 9) |
 //! | [`sched`] | `qla-sched` | greedy EPR-distribution scheduler (Section 5) |
 //! | [`sim`] | `qla-sim` | deterministic discrete-event simulator: EPR-channel queueing, ancilla factories, tail latency |
+//! | [`faults`] | `qla-faults` | declarative fault-injection plans, traffic matrices, multi-tenant streams |
 //! | [`report`] | `qla-report` | typed experiment reports, deterministic text/JSON/CSV renderers |
 //! | [`serve`] | `qla-serve` | newline-delimited-JSON evaluation service: result cache, admission control, service stats |
 //! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
@@ -41,6 +42,7 @@
 
 pub use qla_circuit as circuit;
 pub use qla_core as core;
+pub use qla_faults as faults;
 pub use qla_layout as layout;
 pub use qla_network as network;
 pub use qla_physical as physical;
