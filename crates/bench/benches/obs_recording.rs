@@ -1,0 +1,113 @@
+//! Criterion bench: what recording costs — the same seeded Toffoli stream
+//! replayed through `qla-sim` with the recorder off (a [`Noop`], the path
+//! every golden runs on), at light detail, and at full detail.
+//!
+//! The off case *is* the plain `simulate` path (the engine takes `&mut
+//! Noop` and every hook is behind an `enabled()` check), so its timing is
+//! the baseline the goldens and determinism jobs pay; the light/full cases
+//! price the event capture itself. The harness asserts all three modes
+//! produce the identical outcome before timing anything — a bench that
+//! perturbed the simulation would be measuring the wrong thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qla_core::MachineSpec;
+use qla_obs::{EventLog, Noop, ObsConfig};
+use qla_sched::Mesh;
+use qla_sim::{
+    simulate_observed, toffoli_arrivals, toffoli_work_items, FaultTimeline, TrafficParams, WorkItem,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Windows of offered traffic.
+const HORIZON_WINDOWS: usize = 8;
+
+/// Offered load, Toffoli gates per window.
+const OFFERED_LOAD: f64 = 2.0;
+
+/// Mesh side (tiles).
+const SIDE: usize = 12;
+
+fn workload() -> (Mesh, qla_sim::SimConfig, Vec<WorkItem>) {
+    let spec = MachineSpec::expected();
+    let machine = spec.machine().expect("expected profile builds");
+    let cfg = qla_sim::SimConfig {
+        window: qla_sim::SimTime::from_time(machine.ecc_window()),
+        pair_service: qla_sim::SimTime::from_time(machine.epr_pair_service_time()),
+        pairs_per_window: machine.epr_pairs_per_ecc_window(),
+        channels_per_edge: 2 * machine.config.bandwidth,
+        max_in_flight: 64,
+        ancilla_capacity: 12,
+        ancilla_prep: qla_sim::SimTime::from_time(machine.ecc_window()),
+        measure: None,
+    };
+    let mesh =
+        Mesh::new(SIDE, SIDE, machine.config.bandwidth).with_pairs_per_window(cfg.pairs_per_window);
+    let mut rng = ChaCha8Rng::seed_from_u64(2005);
+    let arrivals = toffoli_arrivals(
+        &mesh,
+        HORIZON_WINDOWS,
+        &TrafficParams {
+            offered_load: OFFERED_LOAD,
+            burst_factor: 2.0,
+            window: cfg.window,
+        },
+        &mut rng,
+    );
+    let items = toffoli_work_items(&mesh, &arrivals);
+    (mesh, cfg, items)
+}
+
+fn bench_obs_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_recording");
+    group.sample_size(10);
+    let (mesh, cfg, items) = workload();
+    let faults = FaultTimeline::default();
+
+    let baseline = simulate_observed(&mesh, &cfg, &items, &faults, &mut Noop);
+    assert!(baseline.events > 0);
+    for (label, config) in [("light", ObsConfig::light()), ("full", ObsConfig::full())] {
+        let mut log = EventLog::for_point(config, "bench");
+        let out = simulate_observed(&mesh, &cfg, &items, &faults, &mut log);
+        assert_eq!(out, baseline, "recording must not perturb the outcome");
+        println!(
+            "obs_recording/{label}: {} spans, {} instants, {} counter samples over {} sim events",
+            log.span_count(),
+            log.instant_count(),
+            log.counter_count(),
+            out.events
+        );
+    }
+
+    group.bench_function("recorder/off", |b| {
+        b.iter(|| {
+            black_box(simulate_observed(
+                black_box(&mesh),
+                black_box(&cfg),
+                black_box(&items),
+                &faults,
+                &mut Noop,
+            ))
+        });
+    });
+    for (label, config) in [("light", ObsConfig::light()), ("full", ObsConfig::full())] {
+        group.bench_function(format!("recorder/{label}"), |b| {
+            b.iter(|| {
+                let mut log = EventLog::for_point(config.clone(), "bench");
+                black_box(simulate_observed(
+                    black_box(&mesh),
+                    black_box(&cfg),
+                    black_box(&items),
+                    &faults,
+                    &mut log,
+                ));
+                black_box(log)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_recording);
+criterion_main!(benches);

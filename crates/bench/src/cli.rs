@@ -28,7 +28,9 @@
 use crate::experiments::trace_replay;
 use crate::registry;
 use qla_core::{DynExperiment, Executor, ExperimentContext, MachineSpec};
-use qla_report::{Format, Report};
+use qla_obs::export::{chrome_trace, text_timeline};
+use qla_obs::{metrics_rows, EventLog};
+use qla_report::{row, Column, Format, Report};
 use qla_trace::Trace;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
@@ -61,6 +63,12 @@ pub struct CliArgs {
     /// Trace files named with `--trace` (repeatable, in order). Only the
     /// `trace-replay` experiment accepts them; see [`run_experiment`].
     pub traces: Vec<PathBuf>,
+    /// Directory `--emit-trace` writes `<experiment>.trace.json` (Chrome /
+    /// Perfetto) and `<experiment>.timeline.txt` files into. Recording is
+    /// on exactly when this or `metrics` is set.
+    pub emit_trace: Option<PathBuf>,
+    /// Emit the recorded metrics table (`--metrics`) as an extra report.
+    pub metrics: bool,
     /// Positional (non-flag) arguments, in order.
     pub positional: Vec<String>,
 }
@@ -76,6 +84,8 @@ impl Default for CliArgs {
             profile: None,
             spec_path: None,
             traces: Vec::new(),
+            emit_trace: None,
+            metrics: false,
             positional: Vec::new(),
         }
     }
@@ -109,8 +119,13 @@ impl CliArgs {
                 }
                 "--out-dir" => {
                     let v = iter.next().ok_or("--out-dir needs a value")?;
-                    parsed.out_dir = Some(check_out_dir(&v)?);
+                    parsed.out_dir = Some(check_dir("--out-dir", &v)?);
                 }
+                "--emit-trace" => {
+                    let v = iter.next().ok_or("--emit-trace needs a directory")?;
+                    parsed.emit_trace = Some(check_dir("--emit-trace", &v)?);
+                }
+                "--metrics" => parsed.metrics = true,
                 "--jobs" => {
                     let v = iter.next().ok_or("--jobs needs a value")?;
                     parsed.jobs = Some(parse_jobs("--jobs", &v)?);
@@ -213,6 +228,15 @@ impl CliArgs {
         Ok(spec)
     }
 
+    /// Whether this invocation records observability data: `--emit-trace`
+    /// and/or `--metrics` turn the recorder on (detail and sampling come
+    /// from the active spec's `sweep.obs.*` section); with neither flag
+    /// every experiment runs its plain, provably-unrecorded path.
+    #[must_use]
+    pub fn observing(&self) -> bool {
+        self.emit_trace.is_some() || self.metrics
+    }
+
     /// The executor selected by `--jobs`, falling back to [`JOBS_ENV`] and
     /// then to sequential execution.
     ///
@@ -257,19 +281,20 @@ fn check_trials(trials: usize) -> Result<usize, String> {
     Ok(trials)
 }
 
-/// Reject a malformed `--out-dir` at parse time. An empty value used to
-/// flow through to `create_dir_all("")`, which fails only after the
-/// experiment has already burnt its full trial budget — and a value naming
-/// an existing *file* failed the same late way. Both are usage errors the
-/// parser can catch before any work starts. (A not-yet-existing directory
-/// stays fine: `emit` creates it.)
-fn check_out_dir(value: &str) -> Result<PathBuf, String> {
+/// Reject a malformed directory flag (`--out-dir`, `--emit-trace`) at
+/// parse time. An empty value used to flow through to
+/// `create_dir_all("")`, which fails only after the experiment has already
+/// burnt its full trial budget — and a value naming an existing *file*
+/// failed the same late way. Both are usage errors the parser can catch
+/// before any work starts. (A not-yet-existing directory stays fine: the
+/// writers create it.)
+fn check_dir(flag: &str, value: &str) -> Result<PathBuf, String> {
     if value.is_empty() {
-        return Err("--out-dir must not be empty".to_string());
+        return Err(format!("{flag} must not be empty"));
     }
     let dir = PathBuf::from(value);
     if dir.exists() && !dir.is_dir() {
-        return Err(format!("--out-dir '{value}' exists but is not a directory"));
+        return Err(format!("{flag} '{value}' exists but is not a directory"));
     }
     Ok(dir)
 }
@@ -314,6 +339,13 @@ pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
                 "--trace only applies to the trace-replay experiment, not '{name}'"
             ));
         }
+        if args.observing() {
+            return Err(
+                "--emit-trace/--metrics do not apply to --trace file replay; \
+                 run trace-replay without --trace to record the built-in programs"
+                    .to_string(),
+            );
+        }
         let traces = load_traces(&args.traces)?;
         let ctx = args.parallel_context(experiment.default_trials())?;
         let report = trace_replay::file_replay_report(&ctx, &traces);
@@ -321,9 +353,81 @@ pub fn run_experiment(name: &str, args: &CliArgs) -> Result<Report, String> {
         return Ok(report);
     }
     let ctx = args.parallel_context(experiment.default_trials())?;
-    let report = experiment.run_report(&ctx);
+    run_one(experiment.as_ref(), &ctx, args)
+}
+
+/// Run one resolved experiment and emit its outputs: the report always;
+/// with `--emit-trace`/`--metrics` the run records (the spec's
+/// `sweep.obs.*` section sets detail and sampling) and additionally writes
+/// the trace/timeline files and/or emits the metrics table.
+fn run_one(
+    experiment: &dyn DynExperiment,
+    ctx: &ExperimentContext,
+    args: &CliArgs,
+) -> Result<Report, String> {
+    if !args.observing() {
+        let report = experiment.run_report(ctx);
+        emit(&report, args)?;
+        return Ok(report);
+    }
+    let (report, logs) = experiment.run_report_observed(ctx);
     emit(&report, args)?;
+    if let Some(dir) = &args.emit_trace {
+        write_trace_files(dir, experiment.name(), &logs)?;
+    }
+    if args.metrics {
+        emit(&metrics_report(experiment.name(), &logs), args)?;
+    }
     Ok(report)
+}
+
+/// Write `<dir>/<name>.trace.json` (Chrome/Perfetto `trace.json`) and
+/// `<dir>/<name>.timeline.txt` (the deterministic text timeline) from the
+/// run's recorded logs.
+///
+/// # Errors
+/// Returns a message when the directory or either file cannot be written.
+fn write_trace_files(dir: &Path, name: &str, logs: &[EventLog]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    for (suffix, rendered) in [
+        ("trace.json", chrome_trace(logs)),
+        ("timeline.txt", text_timeline(logs)),
+    ] {
+        let path = dir.join(format!("{name}.{suffix}"));
+        std::fs::write(&path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// The recorded metrics table as a normal byte-pinned report
+/// (`<experiment>-metrics`), rendered and written like any other.
+fn metrics_report(name: &str, logs: &[EventLog]) -> Report {
+    let mut r = Report::new(
+        format!("{name}-metrics"),
+        format!("Recorded metrics — {name}"),
+    )
+    .with_columns([
+        Column::new("metric"),
+        Column::new("kind"),
+        Column::new("count"),
+        Column::with_unit("p50", "ns"),
+        Column::with_unit("p90", "ns"),
+        Column::with_unit("p99", "ns"),
+        Column::with_unit("max", "ns"),
+    ]);
+    for m in metrics_rows(logs) {
+        r.push_row(row![
+            m.name, m.kind, m.count, m.p50_ns, m.p90_ns, m.p99_ns, m.max_ns
+        ]);
+    }
+    r.push_note(
+        "counters count occurrences (instants and counter samples); histograms summarise \
+         span durations at nearest-rank percentiles; rows fold every recorded point/pass \
+         of the run and are byte-deterministic across --jobs and re-runs",
+    );
+    r
 }
 
 /// Load and parse every `--trace` file, in flag order.
@@ -407,14 +511,14 @@ pub fn run_experiments(
             .context(experiment.default_trials())
             .with_executor(executor)
             .with_spec(spec.clone());
-        match std::panic::catch_unwind(AssertUnwindSafe(|| experiment.run_report(&ctx))) {
-            Ok(report) => match emit(&report, args) {
-                Ok(()) => {
-                    println!();
-                    outcome.completed.push(name);
-                }
-                Err(message) => outcome.failed.push((name, message)),
-            },
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_one(experiment.as_ref(), &ctx, args)
+        })) {
+            Ok(Ok(_)) => {
+                println!();
+                outcome.completed.push(name);
+            }
+            Ok(Err(message)) => outcome.failed.push((name, message)),
             Err(payload) => outcome.failed.push((name, panic_message(payload.as_ref()))),
         }
     }
@@ -673,6 +777,28 @@ mod tests {
         assert_eq!(args.out_dir, Some(dir));
         let args = parse(&["--out-dir", "brand-new-reports"]).unwrap();
         assert_eq!(args.out_dir, Some(PathBuf::from("brand-new-reports")));
+    }
+
+    #[test]
+    fn emit_trace_and_metrics_flags_parse_and_gate_recording() {
+        let args = parse(&["--emit-trace", "traces", "--metrics"]).unwrap();
+        assert_eq!(args.emit_trace, Some(PathBuf::from("traces")));
+        assert!(args.metrics);
+        assert!(args.observing());
+        assert!(parse(&["--metrics"]).unwrap().observing());
+        assert!(!parse(&[]).unwrap().observing());
+
+        // The directory value gets the same validation as --out-dir.
+        let err = parse(&["--emit-trace", ""]).unwrap_err();
+        assert!(err.contains("--emit-trace must not be empty"), "{err}");
+        assert!(parse(&["--emit-trace"])
+            .unwrap_err()
+            .contains("--emit-trace"));
+
+        // Recording file-replay runs is rejected, not silently skipped.
+        let args = parse(&["--trace", "x.trace", "--metrics"]).unwrap();
+        let err = run_experiment("trace-replay", &args).unwrap_err();
+        assert!(err.contains("do not apply to --trace"), "{err}");
     }
 
     #[test]

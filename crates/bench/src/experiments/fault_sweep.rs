@@ -16,9 +16,10 @@ use crate::experiments::round2;
 use crate::experiments::sim_support::{machine_mesh, sim_config};
 use qla_core::{Experiment, ExperimentContext, MachineSpec, Runner, BUILTIN_PROFILES};
 use qla_faults::FaultPlan;
+use qla_obs::{EventLog, ObsConfig};
 use qla_report::{row, Column, Report};
 use qla_sim::{
-    simulate_faulted, toffoli_arrivals, toffoli_work_items, LatencySummary, TrafficParams,
+    simulate_observed, toffoli_arrivals, toffoli_work_items, LatencySummary, TrafficParams,
 };
 use serde::Serialize;
 
@@ -76,6 +77,14 @@ impl Experiment for FaultSweep {
     }
 
     fn run(&self, ctx: &ExperimentContext) -> FaultSweepOutput {
+        self.run_observed(ctx, &ObsConfig::off()).0
+    }
+
+    fn run_observed(
+        &self,
+        ctx: &ExperimentContext,
+        obs: &ObsConfig,
+    ) -> (FaultSweepOutput, Vec<EventLog>) {
         let sim = ctx.spec.sweep.sim.clone();
         let fault = ctx.spec.sweep.fault.clone();
         let horizon = sim.warmup_windows + sim.measure_windows;
@@ -96,56 +105,61 @@ impl Experiment for FaultSweep {
             .collect();
 
         let runner = Runner::new(ctx.clone());
-        let rows = runner.sweep_parallel(&points, |_, (profile_idx, spec, severity)| {
-            let machine = spec.machine().expect("built-in profiles are valid");
-            let mesh = machine_mesh(&machine);
-            let cfg = sim_config(&machine, &sim, None);
-            let warm_start = cfg.window * sim.warmup_windows as u64;
-            let measure_end = cfg.window * horizon as u64;
-            let cfg = qla_sim::SimConfig {
-                measure: Some((warm_start, measure_end)),
-                ..cfg
-            };
+        let (rows, logs) = runner.sweep_parallel_observed(
+            &points,
+            obs,
+            |_, (profile_idx, spec, severity), log| {
+                log.set_label(format!("{}-severity-{severity}", spec.name));
+                let machine = spec.machine().expect("built-in profiles are valid");
+                let mesh = machine_mesh(&machine);
+                let cfg = sim_config(&machine, &sim, None);
+                let warm_start = cfg.window * sim.warmup_windows as u64;
+                let measure_end = cfg.window * horizon as u64;
+                let cfg = qla_sim::SimConfig {
+                    measure: Some((warm_start, measure_end)),
+                    ..cfg
+                };
 
-            let mut rng = ctx.rng_for_point(*profile_idx as u64);
-            let arrivals = toffoli_arrivals(
-                &mesh,
-                horizon,
-                &TrafficParams {
-                    offered_load: fault.traffic_offered_load,
-                    burst_factor: sim.burst_factor,
-                    window: cfg.window,
-                },
-                &mut rng,
-            );
-            let items = toffoli_work_items(&mesh, &arrivals);
+                let mut rng = ctx.rng_for_point(*profile_idx as u64);
+                let arrivals = toffoli_arrivals(
+                    &mesh,
+                    horizon,
+                    &TrafficParams {
+                        offered_load: fault.traffic_offered_load,
+                        burst_factor: sim.burst_factor,
+                        window: cfg.window,
+                    },
+                    &mut rng,
+                );
+                let items = toffoli_work_items(&mesh, &arrivals);
 
-            let plan = FaultPlan::for_severity(&fault, &mesh, &cfg, *severity);
-            let timeline = plan
-                .compile(&mesh, &cfg)
-                .expect("plans derived from a validated spec compile");
-            let out = simulate_faulted(&mesh, &cfg, &items, &timeline);
+                let plan = FaultPlan::for_severity(&fault, &mesh, &cfg, *severity);
+                let timeline = plan
+                    .compile(&mesh, &cfg)
+                    .expect("plans derived from a validated spec compile");
+                let out = simulate_observed(&mesh, &cfg, &items, &timeline, log);
 
-            let sojourns: Vec<qla_sim::SimTime> = out
-                .items
-                .iter()
-                .filter(|item| item.arrival >= warm_start)
-                .map(|item| item.completion.saturating_since(item.arrival))
-                .collect();
-            let sojourn = LatencySummary::of(&sojourns);
+                let sojourns: Vec<qla_sim::SimTime> = out
+                    .items
+                    .iter()
+                    .filter(|item| item.arrival >= warm_start)
+                    .map(|item| item.completion.saturating_since(item.arrival))
+                    .collect();
+                let sojourn = LatencySummary::of(&sojourns);
 
-            FaultSweepRow {
-                profile: spec.name.clone(),
-                severity: *severity,
-                degraded_edges: plan.channel_faults.len(),
-                offered_toffolis: items.len(),
-                channel_utilization: out.channel_utilization(&cfg),
-                p50_sojourn_ms: qla_sim::SimTime::from_nanos(sojourn.p50_ns).as_millis_f64(),
-                p99_sojourn_ms: qla_sim::SimTime::from_nanos(sojourn.p99_ns).as_millis_f64(),
-                makespan_windows: out.windows_used(cfg.window),
-            }
-        });
-        FaultSweepOutput { rows }
+                FaultSweepRow {
+                    profile: spec.name.clone(),
+                    severity: *severity,
+                    degraded_edges: plan.channel_faults.len(),
+                    offered_toffolis: items.len(),
+                    channel_utilization: out.channel_utilization(&cfg),
+                    p50_sojourn_ms: qla_sim::SimTime::from_nanos(sojourn.p50_ns).as_millis_f64(),
+                    p99_sojourn_ms: qla_sim::SimTime::from_nanos(sojourn.p99_ns).as_millis_f64(),
+                    makespan_windows: out.windows_used(cfg.window),
+                }
+            },
+        );
+        (FaultSweepOutput { rows }, logs)
     }
 
     fn report(&self, ctx: &ExperimentContext, output: &FaultSweepOutput) -> Report {

@@ -19,6 +19,7 @@ pub mod fault_sweep;
 pub mod fig7_threshold;
 pub mod fig9_connection;
 pub mod multi_tenant_fairness;
+pub mod obs_overhead;
 pub mod recursion_analysis;
 pub mod scheduler_utilization;
 pub mod sensitivity;
@@ -41,6 +42,7 @@ pub use fault_sweep::FaultSweep;
 pub use fig7_threshold::Fig7Threshold;
 pub use fig9_connection::Fig9Connection;
 pub use multi_tenant_fairness::MultiTenantFairness;
+pub use obs_overhead::ObsOverhead;
 pub use recursion_analysis::RecursionAnalysis;
 pub use scheduler_utilization::SchedulerUtilization;
 pub use sensitivity::Sensitivity;

@@ -19,7 +19,9 @@
 //! determinism); setting `QLA_SERVE_CLOCK=wall` measures real latencies,
 //! which the soak job uses to assert the real warm/cold speed-up.
 
+use qla_core::stats::percentile_f64;
 use qla_core::{Experiment, ExperimentContext, MachineSpec};
+use qla_obs::{EventLog, ObsConfig, Recorder};
 use qla_report::{json_escape, row, Column, Report};
 use qla_serve::{Outcome, ServeConfig, ServedRequest, Service, ServiceClock};
 use serde::Serialize;
@@ -116,6 +118,14 @@ impl Experiment for ServeLoad {
     }
 
     fn run(&self, ctx: &ExperimentContext) -> ServeLoadOutput {
+        self.run_observed(ctx, &ObsConfig::off()).0
+    }
+
+    fn run_observed(
+        &self,
+        ctx: &ExperimentContext,
+        obs: &ObsConfig,
+    ) -> (ServeLoadOutput, Vec<EventLog>) {
         let clock = ServiceClock::from_env().unwrap_or_else(|e| panic!("{e}"));
         let service = Service::new(
             Box::new(crate::registry::find),
@@ -128,8 +138,12 @@ impl Experiment for ServeLoad {
         );
 
         let lines = request_mix(ctx);
-        let pass1 = run_pass(&service, &lines, ctx);
-        let pass2 = run_pass(&service, &lines, ctx);
+        let mut log1 = EventLog::for_point(obs.clone(), "pass-1-cold");
+        let pass1 = run_pass(&service, &lines, ctx, &mut log1);
+        log1.seal_task_span();
+        let mut log2 = EventLog::for_point(obs.clone(), "pass-2-warm");
+        let pass2 = run_pass(&service, &lines, ctx, &mut log2);
+        log2.seal_task_span();
 
         for (index, (a, b)) in pass1.iter().zip(&pass2).enumerate() {
             assert_eq!(
@@ -154,13 +168,16 @@ impl Experiment for ServeLoad {
         let issued = (2 * TOTAL_REQUESTS) as f64;
         let cold_p50 = rows[0].p50_us.expect("pass 1 has misses");
         let warm_p50 = rows[4].p50_us.expect("pass 2 has hits");
-        ServeLoadOutput {
-            rows,
-            hit_rate: stats.hit_rate(),
-            shed_rate: stats.shed as f64 / issued,
-            cold_over_warm_p50: cold_p50 / warm_p50,
-            transcripts_identical: true,
-        }
+        (
+            ServeLoadOutput {
+                rows,
+                hit_rate: stats.hit_rate(),
+                shed_rate: stats.shed as f64 / issued,
+                cold_over_warm_p50: cold_p50 / warm_p50,
+                transcripts_identical: true,
+            },
+            vec![log1, log2],
+        )
     }
 
     fn report(&self, ctx: &ExperimentContext, output: &ServeLoadOutput) -> Report {
@@ -250,11 +267,17 @@ fn request_mix(ctx: &ExperimentContext) -> Vec<String> {
         .collect()
 }
 
-/// Issue the mix in bursts through the service.
-fn run_pass(service: &Service, lines: &[String], ctx: &ExperimentContext) -> Vec<ServedRequest> {
+/// Issue the mix in bursts through the service, mirroring each burst's
+/// request lifecycle into `rec` (a no-op when recording is off).
+fn run_pass(
+    service: &Service,
+    lines: &[String],
+    ctx: &ExperimentContext,
+    rec: &mut dyn Recorder,
+) -> Vec<ServedRequest> {
     let mut served = Vec::with_capacity(lines.len());
     for burst in lines.chunks(BURST) {
-        served.extend(service.handle_burst(burst, &ctx.executor));
+        served.extend(service.handle_burst_recorded(burst, &ctx.executor, rec));
     }
     served
 }
@@ -270,12 +293,9 @@ fn class_row(pass: usize, class: &str, outcome: Outcome, served: &[ServedRequest
     let count = times_us.len();
     let stats_apply = count > 0 && outcome != Outcome::Shed;
     let percentile = |p: f64| -> Option<f64> {
-        if !stats_apply {
-            return None;
-        }
-        // Nearest-rank percentile on the sorted sample.
-        let rank = ((p / 100.0) * count as f64).ceil() as usize;
-        Some(times_us[rank.clamp(1, count) - 1])
+        // Shared nearest-rank helper (the same one the sim and serve
+        // stats use), so every percentile in the workspace agrees.
+        stats_apply.then(|| percentile_f64(&times_us, p))
     };
     ServeLoadRow {
         pass,

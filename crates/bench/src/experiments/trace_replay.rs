@@ -12,8 +12,9 @@
 //! `trace_replay_end_to_end` integration test pins for traced programs).
 
 use crate::experiments::round2;
-use crate::experiments::trace_support::{replay_trace, ReplayedProgram};
+use crate::experiments::trace_support::{replay_trace, replay_trace_observed, ReplayedProgram};
 use qla_core::{Experiment, ExperimentContext};
+use qla_obs::{EventLog, ObsConfig};
 use qla_report::{row, Column, Report};
 use qla_trace::generators::{modexp_program, qcla_adder, random_clifford_t};
 use qla_trace::Trace;
@@ -59,10 +60,18 @@ impl Experiment for TraceReplay {
     }
 
     fn run(&self, ctx: &ExperimentContext) -> TraceReplayOutput {
+        self.run_observed(ctx, &ObsConfig::off()).0
+    }
+
+    fn run_observed(
+        &self,
+        ctx: &ExperimentContext,
+        obs: &ObsConfig,
+    ) -> (TraceReplayOutput, Vec<EventLog>) {
         let machine = ctx.machine();
         let trace_spec = &ctx.spec.sweep.trace;
         let sim = &ctx.spec.sweep.sim;
-        let programs = ctx.executor.map_indices(3, |i| {
+        let (programs, logs) = ctx.executor.map_indices_observed(3, obs, |i, log| {
             let trace = match i {
                 0 => qcla_adder(trace_spec.adder_bits),
                 1 => modexp_program(trace_spec.modexp_bits, trace_spec.modexp_multiplier_calls),
@@ -72,9 +81,10 @@ impl Experiment for TraceReplay {
                     &mut ctx.rng_for_point(i as u64),
                 ),
             };
-            replay_trace(&trace, &machine, sim)
+            log.set_label(trace.name().to_string());
+            replay_trace_observed(&trace, &machine, sim, log)
         });
-        TraceReplayOutput { programs }
+        (TraceReplayOutput { programs }, logs)
     }
 
     fn report(&self, ctx: &ExperimentContext, output: &TraceReplayOutput) -> Report {

@@ -5,7 +5,8 @@
 
 use crate::experiments::sim_support::{machine_mesh, sim_config};
 use qla_core::{QlaMachine, SimSpec};
-use qla_sim::{simulate, LatencySummary};
+use qla_obs::{Noop, Recorder};
+use qla_sim::{simulate_observed, FaultTimeline, LatencySummary};
 use qla_trace::{schedule_trace, trace_work_items, Placement, Trace, TraceTraffic};
 use serde::Serialize;
 
@@ -56,13 +57,26 @@ pub struct ReplayedProgram {
 /// the plan's layer starts.
 #[must_use]
 pub fn replay_trace(trace: &Trace, machine: &QlaMachine, sim: &SimSpec) -> ReplayedProgram {
+    replay_trace_observed(trace, machine, sim, &mut Noop)
+}
+
+/// [`replay_trace`] with the simulator's event stream mirrored into `rec`.
+/// With a [`Noop`] recorder this *is* `replay_trace` — same code path,
+/// byte-identical outcome.
+#[must_use]
+pub fn replay_trace_observed(
+    trace: &Trace,
+    machine: &QlaMachine,
+    sim: &SimSpec,
+    rec: &mut dyn Recorder,
+) -> ReplayedProgram {
     let mesh = machine_mesh(machine);
     let placement = Placement::spread(&mesh, trace);
     let traffic = TraceTraffic::lower(trace, &mesh, &placement);
     let plan = schedule_trace(&traffic, &mesh);
     let cfg = sim_config(machine, sim, None);
     let items = trace_work_items(&traffic, &plan, cfg.window);
-    let outcome = simulate(&mesh, &cfg, &items);
+    let outcome = simulate_observed(&mesh, &cfg, &items, &FaultTimeline::default(), rec);
     let sojourn = LatencySummary::of(&outcome.sojourns());
     let counts = trace.counts();
     let sim_windows = outcome.windows_used(cfg.window);

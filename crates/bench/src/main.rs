@@ -4,8 +4,8 @@
 //! qla-bench list
 //! qla-bench describe <experiment>
 //! qla-bench profiles [<name>]
-//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR]
-//! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+//! qla-bench run <experiment> [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR] [--emit-trace DIR] [--metrics]
+//! qla-bench run-all          [--trials N] [--seed S] [--jobs N] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR] [--emit-trace DIR] [--metrics]
 //! ```
 //!
 //! Every experiment is resolved through `qla_bench::registry`; rendering
@@ -26,8 +26,8 @@ const USAGE: &str = "usage:
   qla-bench list
   qla-bench describe <experiment>
   qla-bench profiles [<name>]
-  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR]
-  qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR]
+  qla-bench run <experiment> [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--trace FILE]... [--format text|json|csv] [--out-dir DIR] [--emit-trace DIR] [--metrics]
+  qla-bench run-all          [--trials N] [--seed S] [--jobs N|auto] [--profile P | --spec F] [--format text|json|csv] [--out-dir DIR] [--emit-trace DIR] [--metrics]
   qla-bench serve            [--addr HOST:PORT | --once | --connect HOST:PORT] (see `qla-bench serve --help`)
 
 --jobs N evaluates sweep points on N threads ('auto' sizes to the machine;
@@ -36,7 +36,10 @@ default: $QLA_JOBS, else 1); output is byte-identical at every job count.
 --spec loads one from a key = value file (`qla-bench profiles <name>` prints
 a template). --trace FILE (repeatable, `run trace-replay` only) replays the
 named trace files instead of the built-in programs; malformed files fail
-loudly with the file and line. run `qla-bench list` to see the registered
+loudly with the file and line. --emit-trace DIR records the run and writes
+<experiment>.trace.json (open at ui.perfetto.dev) plus a text timeline;
+--metrics records and prints the metrics table; both are byte-deterministic
+and change no report byte. run `qla-bench list` to see the registered
 experiments.";
 
 fn main() {

@@ -7,9 +7,9 @@
 
 use crate::experiments::{
     ChannelBandwidth, EccLatency, Factor128Walkthrough, FaultSweep, Fig7Threshold, Fig9Connection,
-    MultiTenantFairness, RecursionAnalysis, SchedulerUtilization, Sensitivity, ServeLoad,
-    SimOfferedLoad, SimTailLatency, SimVsAnalytic, Table1, Table2Shor, TraceReplay, TraceScaling,
-    TrafficMatrixStudy,
+    MultiTenantFairness, ObsOverhead, RecursionAnalysis, SchedulerUtilization, Sensitivity,
+    ServeLoad, SimOfferedLoad, SimTailLatency, SimVsAnalytic, Table1, Table2Shor, TraceReplay,
+    TraceScaling, TrafficMatrixStudy,
 };
 use qla_core::DynExperiment;
 
@@ -40,6 +40,7 @@ pub fn registry() -> Vec<Box<dyn DynExperiment>> {
         Box::new(Table2Shor),
         Box::new(Factor128Walkthrough),
         Box::new(ServeLoad),
+        Box::new(ObsOverhead),
         Box::new(Sensitivity),
     ])
 }

@@ -288,6 +288,27 @@ fn serve_load_json_and_text_are_byte_stable() {
 }
 
 #[test]
+fn obs_overhead_json_and_text_are_byte_stable() {
+    // Pure integer event/span/instant counts over a ChaCha8 arrival stream
+    // through the integer-nanosecond engine: platform-stable like the sim
+    // fixtures. This golden pins the recording-off identity as rendered
+    // output — the `outcome identical` column is asserted true in-run.
+    let e = registry::find("obs-overhead").unwrap();
+    let ctx = ExperimentContext::new(e.default_trials(), GOLDEN_SEED);
+    let report = e.run_report(&ctx);
+    assert_golden(
+        "obs-overhead.json",
+        &report.render(Format::Json),
+        include_str!("golden/obs-overhead.json"),
+    );
+    assert_golden(
+        "obs-overhead.txt",
+        &report.render(Format::Text),
+        include_str!("golden/obs-overhead.txt"),
+    );
+}
+
+#[test]
 fn every_report_carries_the_scenario_header() {
     // The scenario metadata is part of the report contract: every
     // registry-produced report names the profile it ran under, in the

@@ -17,6 +17,7 @@
 //! worker that finishes early simply takes the next chunk; nothing is ever
 //! assigned to a slow worker in advance.
 
+use qla_obs::{EventLog, ObsConfig};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -100,6 +101,38 @@ impl Executor {
         F: Fn(usize, &T) -> R + Sync,
     {
         self.map_indices(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Map `f` over `0..len` like [`Executor::map_indices`], threading a
+    /// fresh per-point [`EventLog`] into each call and returning the logs
+    /// alongside the results, both in index order.
+    ///
+    /// This is the observability layer's executor hook: each point's log
+    /// is created inside that point's own closure invocation (never shared
+    /// across points), sealed with a `task` envelope span, and reassembled
+    /// in index order — so the log vector, like the result vector, is
+    /// byte-identical across thread counts and from run to run. Closures
+    /// usually [`EventLog::set_label`] their point's name.
+    ///
+    /// # Panics
+    /// Propagates the first observed worker panic.
+    pub fn map_indices_observed<R, F>(
+        &self,
+        len: usize,
+        config: &ObsConfig,
+        f: F,
+    ) -> (Vec<R>, Vec<EventLog>)
+    where
+        R: Send,
+        F: Fn(usize, &mut EventLog) -> R + Sync,
+    {
+        let pairs = self.map_indices(len, |i| {
+            let mut log = EventLog::for_point(config.clone(), format!("point-{i}"));
+            let result = f(i, &mut log);
+            log.seal_task_span();
+            (result, log)
+        });
+        pairs.into_iter().unzip()
     }
 
     /// Map `f` over the indices `0..len`, returning results in index order.

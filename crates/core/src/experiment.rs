@@ -15,6 +15,7 @@
 use crate::executor::Executor;
 use crate::machine::QlaMachine;
 use crate::spec::MachineSpec;
+use qla_obs::{EventLog, ObsConfig};
 use qla_report::Report;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -158,6 +159,30 @@ pub trait Experiment {
     /// Execute the experiment.
     fn run(&self, ctx: &ExperimentContext) -> Self::Output;
 
+    /// Execute the experiment with observability recording under `obs`,
+    /// returning the recorded per-point [`EventLog`]s alongside the
+    /// output.
+    ///
+    /// The default ignores `obs` and records nothing — experiments without
+    /// instrumentation stay observability-transparent. Instrumented
+    /// experiments implement *this* method as their real body (threading
+    /// per-point logs through `simulate_observed` and friends) and
+    /// implement [`Experiment::run`] as
+    /// `self.run_observed(ctx, &ObsConfig::off()).0`, which is what makes
+    /// "recording off changes nothing" structural: the plain path and the
+    /// observed path are the same code, differing only in a disabled
+    /// recorder. The contract — pinned by tests — is that `Output` is
+    /// byte-identical whether or not recording is on, and that the logs
+    /// themselves are identical across `--jobs` counts and run-to-run.
+    fn run_observed(
+        &self,
+        ctx: &ExperimentContext,
+        obs: &ObsConfig,
+    ) -> (Self::Output, Vec<EventLog>) {
+        let _ = obs;
+        (self.run(ctx), Vec::new())
+    }
+
     /// Project an output into the canonical report (without the scenario
     /// header — the runner attaches that uniformly, see
     /// [`DynExperiment::run_report`]).
@@ -194,6 +219,15 @@ pub trait DynExperiment {
     /// Run and project in one step. The report carries the context's
     /// scenario header.
     fn run_report(&self, ctx: &ExperimentContext) -> Report;
+    /// Run with observability recording configured from the context's
+    /// `sweep.obs.*` section, returning the report plus the recorded
+    /// per-point event logs (empty for uninstrumented experiments). The
+    /// report is byte-identical to [`DynExperiment::run_report`]; the
+    /// blanket [`Experiment`] impl routes this through
+    /// [`Experiment::run_observed`].
+    fn run_report_observed(&self, ctx: &ExperimentContext) -> (Report, Vec<EventLog>) {
+        (self.run_report(ctx), Vec::new())
+    }
 }
 
 impl<E: Experiment> DynExperiment for E {
@@ -215,6 +249,11 @@ impl<E: Experiment> DynExperiment for E {
     fn run_report(&self, ctx: &ExperimentContext) -> Report {
         let output = self.run(ctx);
         annotated_report(self, ctx, &output)
+    }
+    fn run_report_observed(&self, ctx: &ExperimentContext) -> (Report, Vec<EventLog>) {
+        let obs = ctx.spec.sweep.obs.config();
+        let (output, logs) = self.run_observed(ctx, &obs);
+        (annotated_report(self, ctx, &output), logs)
     }
 }
 
@@ -304,6 +343,28 @@ impl Runner {
         self.ctx
             .executor
             .map(points, |i, p| f(&self.point_context(i), p))
+    }
+
+    /// [`Runner::sweep_parallel`] with observability: each point also
+    /// receives a fresh per-point [`EventLog`] (created and sealed by
+    /// [`Executor::map_indices_observed`]), and the logs come back in
+    /// point order next to the results. Same seeding, same ordering, same
+    /// thread-count invariance.
+    pub fn sweep_parallel_observed<P, R>(
+        &self,
+        points: &[P],
+        obs: &ObsConfig,
+        f: impl Fn(&ExperimentContext, &P, &mut EventLog) -> R + Sync,
+    ) -> (Vec<R>, Vec<EventLog>)
+    where
+        P: Sync,
+        R: Send,
+    {
+        self.ctx
+            .executor
+            .map_indices_observed(points.len(), obs, |i, log| {
+                f(&self.point_context(i), &points[i], log)
+            })
     }
 
     /// The derived context sweep point `i` is evaluated under: the master

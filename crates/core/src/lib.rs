@@ -26,6 +26,8 @@
 //!   SplitMix64) and a deterministic [`LruCache`], the substrate of the
 //!   `qla-serve` result cache: byte-determinism makes content-addressed
 //!   result caching trivially correct.
+//! * [`stats`] — the shared nearest-rank percentile helpers (re-exported
+//!   from `qla-obs`) every latency/quantile path in the workspace uses.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,6 +41,7 @@ pub mod hash;
 pub mod machine;
 pub mod montecarlo;
 pub mod spec;
+pub mod stats;
 
 pub use arq::{Arq, ArqError, ArqRun};
 pub use builder::{MachineBuildError, MachineBuilder};
@@ -49,6 +52,6 @@ pub use hash::{content_hash, fnv1a64, mix64};
 pub use machine::{MachineConfig, QlaMachine};
 pub use montecarlo::{ThresholdExperiment, ThresholdPoint};
 pub use spec::{
-    EccMode, FaultSpec, InterconnectSpec, MachineSpec, SimSpec, SpecError, SweepSpec, TraceSpec,
-    BUILTIN_PROFILES,
+    EccMode, FaultSpec, InterconnectSpec, MachineSpec, ObsSpec, SimSpec, SpecError, SweepSpec,
+    TraceSpec, BUILTIN_PROFILES,
 };

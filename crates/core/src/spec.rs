@@ -36,6 +36,7 @@ use crate::builder::MachineBuilder;
 use crate::machine::QlaMachine;
 use crate::MachineBuildError;
 use qla_network::InterconnectParams;
+use qla_obs::{ObsConfig, ObsDetail};
 use qla_physical::{TechnologyParams, Time};
 use qla_qec::EccLatencies;
 use qla_report::Scenario;
@@ -283,6 +284,42 @@ impl FaultSpec {
     }
 }
 
+/// The observability section (`qla-obs`): how much the deterministic
+/// recorder keeps when a run is observed (`--emit-trace` / `--metrics`).
+/// Recording is always *off* for plain runs — this section only shapes
+/// what an observed run records, so it can never perturb a golden byte.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ObsSpec {
+    /// Detail level: `full` keeps per-round channel spans and queue
+    /// samples, `light` drops those high-volume tracks.
+    pub detail: ObsDetail,
+    /// Keep every N-th counter sample per track (1 = all). Spans and
+    /// instants are never sampled.
+    pub sample_every: u32,
+}
+
+impl ObsSpec {
+    /// The default: full detail, every counter sample kept — the paper's
+    /// meshes are small enough that nothing needs thinning.
+    #[must_use]
+    pub fn paper() -> Self {
+        ObsSpec {
+            detail: ObsDetail::Full,
+            sample_every: 1,
+        }
+    }
+
+    /// The recorder configuration for an *observed* run under this spec.
+    #[must_use]
+    pub fn config(&self) -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            detail: self.detail,
+            sample_every: self.sample_every,
+        }
+    }
+}
+
 /// The sweep grids of the parameterised experiments, carried by the profile
 /// so sensitivity studies can widen/narrow them without touching source.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -311,6 +348,8 @@ pub struct SweepSpec {
     pub trace: TraceSpec,
     /// Fault-injection and multi-tenant stress grids.
     pub fault: FaultSpec,
+    /// Observability: recorder detail and sampling for observed runs.
+    pub obs: ObsSpec,
 }
 
 impl SweepSpec {
@@ -334,6 +373,7 @@ impl SweepSpec {
             sim: SimSpec::paper(),
             trace: TraceSpec::paper(),
             fault: FaultSpec::paper(),
+            obs: ObsSpec::paper(),
         }
     }
 }
@@ -828,6 +868,13 @@ impl MachineSpec {
             }
         }
 
+        let obs = &s.obs;
+        if obs.sample_every == 0 {
+            return Err(SpecError::Invalid(
+                "sweep.obs.sample_every must be at least 1".to_string(),
+            ));
+        }
+
         // Finally the machine invariants themselves.
         self.machine().map_err(SpecError::Machine)?;
         Ok(())
@@ -973,6 +1020,9 @@ impl MachineSpec {
         line("sweep.fault.tenants", fault.tenants.to_string());
         line("sweep.fault.tenant_quota", fault.tenant_quota.to_string());
         line("sweep.fault.quota_skews", num_list(&fault.quota_skews));
+        let obs = &s.obs;
+        line("sweep.obs.detail", obs.detail.token().to_string());
+        line("sweep.obs.sample_every", obs.sample_every.to_string());
         out
     }
 
@@ -1076,6 +1126,10 @@ impl MachineSpec {
                     tenants: fields.usize("sweep.fault.tenants")?,
                     tenant_quota: fields.usize("sweep.fault.tenant_quota")?,
                     quota_skews: fields.f64_list("sweep.fault.quota_skews")?,
+                },
+                obs: ObsSpec {
+                    detail: fields.obs_detail("sweep.obs.detail")?,
+                    sample_every: fields.u32("sweep.obs.sample_every")?,
                 },
             },
         };
@@ -1184,6 +1238,15 @@ impl Fields {
             key: key.to_string(),
             value: field.value,
             expected: "a non-negative integer",
+        })
+    }
+
+    fn obs_detail(&mut self, key: &'static str) -> Result<ObsDetail, SpecError> {
+        let field = self.take(key)?;
+        ObsDetail::from_token(&field.value).ok_or_else(|| SpecError::BadValue {
+            key: key.to_string(),
+            value: field.value,
+            expected: "`full` or `light`",
         })
     }
 
@@ -1604,6 +1667,14 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("quota_skews"));
+
+        let mut spec = MachineSpec::expected();
+        spec.sweep.obs.sample_every = 0;
+        assert!(spec
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("obs.sample_every"));
 
         let mut spec = MachineSpec::expected();
         spec.tech.failures.double_gate = 1.5;

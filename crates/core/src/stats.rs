@@ -1,0 +1,36 @@
+//! The shared nearest-rank percentile helpers, re-exported from
+//! [`qla_obs::stats`].
+//!
+//! `qla-sim`'s latency summaries, `qla-serve`'s service-time histograms,
+//! and the serve-load report's per-class quantiles all delegate to this
+//! one implementation (it lives in `qla-obs`, the bottom of the stack, so
+//! the simulator can reach it too; layers above reach it here as
+//! `qla_core::stats`). The quantile definition is *nearest rank* on a
+//! sorted sample — exact on small samples, never interpolating values
+//! that were not observed.
+
+pub use qla_obs::stats::{percentile_f64, percentile_u64};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The helpers are unit-tested exhaustively in qla-obs; these pin the
+    // re-export surface the higher layers compile against.
+
+    #[test]
+    fn u64_re_export_is_the_nearest_rank_helper() {
+        assert_eq!(percentile_u64(&[5, 10, 15, 20], 50), 10);
+        assert_eq!(percentile_u64(&[5, 10, 15, 20], 100), 20);
+    }
+
+    #[test]
+    fn f64_re_export_matches_the_serve_load_arithmetic() {
+        let times = [1.0f64, 2.0, 3.0];
+        let count = times.len();
+        for p in [50.0f64, 90.0, 99.0] {
+            let rank = ((p / 100.0) * count as f64).ceil() as usize;
+            assert_eq!(percentile_f64(&times, p), times[rank.clamp(1, count) - 1]);
+        }
+    }
+}

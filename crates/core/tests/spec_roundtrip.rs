@@ -12,6 +12,7 @@
 //! ```
 
 use qla_core::{EccMode, MachineSpec, BUILTIN_PROFILES};
+use qla_obs::ObsDetail;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -108,6 +109,12 @@ fn randomized_specs_round_trip_exactly() {
         spec.sweep.trace.scaling_modexp_bits = (0..rng.random_range(1..6))
             .map(|_| rng.random_range(4..64))
             .collect();
+        spec.sweep.obs.detail = if rng.random::<bool>() {
+            ObsDetail::Full
+        } else {
+            ObsDetail::Light
+        };
+        spec.sweep.obs.sample_every = rng.random_range(1..1000);
 
         let rendered = spec.render();
         let parsed = MachineSpec::parse(&rendered)

@@ -1,0 +1,98 @@
+//! The one nearest-rank percentile implementation the whole workspace
+//! shares.
+//!
+//! `qla-sim`'s latency summaries, `qla-serve`'s service-time histograms,
+//! the serve-load report's per-class quantiles, and this crate's metrics
+//! table all used to carry their own copy of the same five lines; they now
+//! delegate here (re-exported as `qla_core::stats` for the layers above),
+//! so the quantile definition cannot drift between subsystems.
+//!
+//! Both variants are the classic *nearest-rank* definition on an
+//! already-sorted sample: the `q`-th percentile is the value at rank
+//! `⌈len · q / 100⌉` (1-based). It is exact on small samples (p50 of two
+//! elements is the first, not an interpolation) and never fabricates
+//! values that were not observed — the property the byte-pinned goldens
+//! rely on.
+
+/// Nearest-rank percentile of an ascending-sorted integer sample.
+///
+/// `q` is in percent, `1..=100`. Panics on an empty sample or an
+/// out-of-range `q` — quantiles of nothing are a caller bug, not a `None`.
+///
+/// ```
+/// let sorted = [10u64, 20, 30, 40];
+/// assert_eq!(qla_obs::stats::percentile_u64(&sorted, 50), 20);
+/// assert_eq!(qla_obs::stats::percentile_u64(&sorted, 99), 40);
+/// assert_eq!(qla_obs::stats::percentile_u64(&sorted, 1), 10);
+/// ```
+#[must_use]
+pub fn percentile_u64(sorted: &[u64], q: u32) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((1..=100).contains(&q), "percentile {q} out of 1..=100");
+    let rank = (sorted.len() * q as usize).div_ceil(100);
+    sorted[rank - 1]
+}
+
+/// Nearest-rank percentile of an ascending-sorted float sample.
+///
+/// `p` is in percent, `0 < p <= 100`. The rank is computed in floating
+/// point (`⌈p/100 · len⌉`, clamped into the sample) — bit-for-bit the
+/// arithmetic the serve-load report has always used, so adopting the
+/// shared helper changed no golden.
+#[must_use]
+pub fn percentile_f64(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_matches_the_nearest_rank_definition() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&sorted, 1), 1);
+        assert_eq!(percentile_u64(&sorted, 50), 50);
+        assert_eq!(percentile_u64(&sorted, 99), 99);
+        assert_eq!(percentile_u64(&sorted, 100), 100);
+        // Small samples take the observed value at the ceiling rank.
+        assert_eq!(percentile_u64(&[7, 9], 50), 7);
+        assert_eq!(percentile_u64(&[7, 9], 51), 9);
+        assert_eq!(percentile_u64(&[42], 99), 42);
+    }
+
+    #[test]
+    fn f64_matches_u64_on_integer_samples() {
+        let ints: Vec<u64> = (0..37).map(|i| 3 * i + 1).collect();
+        let floats: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+        for q in 1..=100u32 {
+            assert_eq!(
+                percentile_f64(&floats, f64::from(q)),
+                percentile_u64(&ints, q) as f64,
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_hit_the_sample_bounds() {
+        let sorted = [1.5, 2.5, 9.5];
+        assert_eq!(percentile_f64(&sorted, 0.01), 1.5);
+        assert_eq!(percentile_f64(&sorted, 100.0), 9.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = percentile_u64(&[], 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=100")]
+    fn zero_percent_panics() {
+        let _ = percentile_u64(&[1], 0);
+    }
+}

@@ -24,6 +24,7 @@ use crate::clock::ServiceClock;
 use crate::request::{parse_command, Command, RunRequest};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use qla_core::{content_hash, DynExperiment, Executor, ExperimentContext, LruCache};
+use qla_obs::Recorder;
 use qla_report::{json_escape, Format, Report};
 use std::sync::atomic::Ordering;
 use std::sync::Mutex;
@@ -180,14 +181,20 @@ impl Service {
                     shutdown: false,
                 }
             }
-            Ok(Command::Stats) => LineResponse {
-                body: self.stats.snapshot().render_json(),
-                shutdown: false,
-            },
-            Ok(Command::Shutdown) => LineResponse {
-                body: "{\"status\":\"ok\",\"shutdown\":true}".to_string(),
-                shutdown: true,
-            },
+            Ok(Command::Stats) => {
+                self.stats.stats_requests.fetch_add(1, Ordering::SeqCst);
+                LineResponse {
+                    body: self.stats.snapshot().render_json(),
+                    shutdown: false,
+                }
+            }
+            Ok(Command::Shutdown) => {
+                self.stats.shutdown_requests.fetch_add(1, Ordering::SeqCst);
+                LineResponse {
+                    body: "{\"status\":\"ok\",\"shutdown\":true}".to_string(),
+                    shutdown: true,
+                }
+            }
             Ok(Command::Run(req)) => {
                 let served = self.serve_run(*req);
                 LineResponse {
@@ -360,6 +367,52 @@ impl Service {
         responses
     }
 
+    /// [`Service::handle_burst`] with an observability [`Recorder`]
+    /// attached: after the burst is served, each request's lifecycle is
+    /// replayed onto the `serve` track in line order —
+    /// `admit → lookup-hit | (lookup-miss, evaluate) → render` for accepted
+    /// requests, a lone `shed`/`error` instant otherwise.
+    ///
+    /// Timestamps are the running total of charged service time (starting
+    /// from the service's cumulative `service_ns` at burst entry), so under
+    /// the default virtual clock the recorded log is a byte-deterministic
+    /// function of the request sequence — independent of thread count and
+    /// wall time — while under a wall clock it degrades gracefully to
+    /// measured durations. Recording never changes the responses: the burst
+    /// is served by the exact same code path as [`Service::handle_burst`].
+    pub fn handle_burst_recorded(
+        &self,
+        lines: &[String],
+        executor: &Executor,
+        rec: &mut dyn Recorder,
+    ) -> Vec<ServedRequest> {
+        let base = self.stats.service_ns.load(Ordering::SeqCst);
+        let served = self.handle_burst(lines, executor);
+        if rec.enabled() {
+            let mut cursor = base;
+            for request in &served {
+                match request.outcome {
+                    Outcome::Shed => rec.instant("serve", "shed", cursor),
+                    Outcome::Error => rec.instant("serve", "error", cursor),
+                    Outcome::Hit => {
+                        rec.instant("serve", "admit", cursor);
+                        rec.span("serve", "lookup-hit", cursor, request.service_ns);
+                        cursor += request.service_ns;
+                        rec.instant("serve", "render", cursor);
+                    }
+                    Outcome::Miss => {
+                        rec.instant("serve", "admit", cursor);
+                        rec.instant("serve", "lookup-miss", cursor);
+                        rec.span("serve", "evaluate", cursor, request.service_ns);
+                        cursor += request.service_ns;
+                        rec.instant("serve", "render", cursor);
+                    }
+                }
+            }
+        }
+        served
+    }
+
     /// Resolve the experiment and canonical key, or build the error reply.
     fn prepare(&self, req: &RunRequest) -> Result<(usize, u64, String), ServedRequest> {
         let Some(experiment) = (self.lookup)(&req.experiment) else {
@@ -400,6 +453,7 @@ impl Service {
         self.stats
             .service_ns
             .fetch_add(service_ns, Ordering::SeqCst);
+        self.stats.record_hit_ns(service_ns);
         ServedRequest {
             response: ok_response(&req.experiment, req.format, &rendered),
             outcome: Outcome::Hit,
@@ -442,6 +496,7 @@ impl Service {
         self.stats
             .service_ns
             .fetch_add(service_ns, Ordering::SeqCst);
+        self.stats.record_miss_ns(service_ns);
         ServedRequest {
             response: ok_response(&req.experiment, req.format, &rendered),
             outcome: Outcome::Miss,
@@ -677,6 +732,75 @@ mod tests {
         svc.handle_line(r#"{"experiment": "echo", "seed": 1}"#);
         let snap = svc.stats();
         assert_eq!((snap.hits, snap.misses), (0, 4));
+    }
+
+    #[test]
+    fn recorded_bursts_serve_identically_and_log_the_lifecycle() {
+        use qla_obs::{EventLog, ObsConfig};
+        let lines: Vec<String> = (0..5)
+            .map(|i| format!("{{\"experiment\": \"echo\", \"seed\": {}}}", i % 2))
+            .collect();
+        let plain_svc = service(ServeConfig::default());
+        let plain = plain_svc.handle_burst(&lines, &Executor::Sequential);
+
+        let svc = service(ServeConfig::default());
+        let mut log = EventLog::for_point(ObsConfig::full(), "pass");
+        let recorded = svc.handle_burst_recorded(&lines, &Executor::Sequential, &mut log);
+        let bodies = |served: &[ServedRequest]| -> Vec<String> {
+            served.iter().map(|s| s.response.clone()).collect()
+        };
+        assert_eq!(bodies(&recorded), bodies(&plain));
+
+        // 2 misses + 3 in-burst hits: one admit + render per accepted
+        // request, with the lookup classified per outcome.
+        let named = |name: &str| log.events().iter().filter(|e| e.name == name).count();
+        assert_eq!(named("admit"), 5);
+        assert_eq!(named("render"), 5);
+        assert_eq!(named("lookup-miss"), 2);
+        assert_eq!(named("evaluate"), 2);
+        assert_eq!(named("lookup-hit"), 3);
+
+        // Same burst again on a fresh service: byte-identical log.
+        let svc2 = service(ServeConfig::default());
+        let mut log2 = EventLog::for_point(ObsConfig::full(), "pass");
+        let _ = svc2.handle_burst_recorded(&lines, &Executor::Sequential, &mut log2);
+        assert_eq!(log, log2);
+
+        // And a disabled recorder records nothing while serving the same.
+        let svc3 = service(ServeConfig::default());
+        let mut off = EventLog::off();
+        let silent = svc3.handle_burst_recorded(&lines, &Executor::Sequential, &mut off);
+        assert_eq!(bodies(&silent), bodies(&plain));
+        assert!(off.events().is_empty());
+    }
+
+    #[test]
+    fn endpoint_counters_track_stats_and_shutdown() {
+        let svc = service(ServeConfig::default());
+        svc.handle_line(r#"{"cmd": "stats"}"#);
+        svc.handle_line(r#"{"cmd": "stats"}"#);
+        svc.handle_line(r#"{"cmd": "shutdown"}"#);
+        let snap = svc.stats();
+        // The first poll saw one stats request already counted.
+        assert_eq!(snap.stats_requests, 2);
+        assert_eq!(snap.shutdown_requests, 1);
+        let rendered = snap.render_json();
+        assert!(rendered.contains("\"stats_requests\":2"));
+        assert!(rendered.contains("\"shutdown_requests\":1"));
+    }
+
+    #[test]
+    fn service_time_percentiles_split_by_class() {
+        let svc = service(ServeConfig::default());
+        let line = r#"{"experiment": "echo", "trials": 100}"#.to_string();
+        let _ = svc.handle_burst(&[line.clone(), line], &Executor::Sequential);
+        let snap = svc.stats();
+        assert_eq!(snap.hit_p50_ns, crate::clock::VIRTUAL_HIT_NS);
+        assert_eq!(snap.hit_p99_ns, crate::clock::VIRTUAL_HIT_NS);
+        let miss =
+            crate::clock::VIRTUAL_MISS_BASE_NS + 100 * crate::clock::VIRTUAL_MISS_PER_TRIAL_NS;
+        assert_eq!(snap.miss_p50_ns, miss);
+        assert_eq!(snap.miss_p99_ns, miss);
     }
 
     #[test]

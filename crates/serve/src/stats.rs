@@ -2,9 +2,15 @@
 //!
 //! All counters are atomics so connection threads update them without a
 //! lock; the snapshot is a single JSON line with a fixed key order so soak
-//! scripts can parse it with nothing fancier than `grep`.
+//! scripts can parse it with nothing fancier than `grep`. Beyond the plain
+//! counters, the stats carry per-endpoint request counts (`stats`,
+//! `shutdown`) and per-class service-time samples, summarised at snapshot
+//! time into nearest-rank percentiles through the shared
+//! [`qla_core::stats`] helper.
 
+use qla_core::stats::percentile_u64;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Live counters for one [`Service`](crate::Service).
 #[derive(Debug, Default)]
@@ -27,6 +33,14 @@ pub struct ServiceStats {
     pub peak_in_flight: AtomicU64,
     /// Total charged service time of accepted requests, nanoseconds.
     pub service_ns: AtomicU64,
+    /// `stats` protocol commands served.
+    pub stats_requests: AtomicU64,
+    /// `shutdown` protocol commands served.
+    pub shutdown_requests: AtomicU64,
+    /// Charged service-time samples of cache hits, nanoseconds.
+    hit_ns: Mutex<Vec<u64>>,
+    /// Charged service-time samples of cache misses, nanoseconds.
+    miss_ns: Mutex<Vec<u64>>,
 }
 
 /// A point-in-time copy of every counter.
@@ -50,6 +64,18 @@ pub struct StatsSnapshot {
     pub peak_in_flight: u64,
     /// Total charged service time, nanoseconds.
     pub service_ns: u64,
+    /// `stats` commands served.
+    pub stats_requests: u64,
+    /// `shutdown` commands served.
+    pub shutdown_requests: u64,
+    /// Median hit service time, ns (0 with no hit samples).
+    pub hit_p50_ns: u64,
+    /// 99th-percentile hit service time, ns (0 with no hit samples).
+    pub hit_p99_ns: u64,
+    /// Median miss service time, ns (0 with no miss samples).
+    pub miss_p50_ns: u64,
+    /// 99th-percentile miss service time, ns (0 with no miss samples).
+    pub miss_p99_ns: u64,
 }
 
 impl ServiceStats {
@@ -66,8 +92,28 @@ impl ServiceStats {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Copy every counter.
+    /// Record one cache hit's charged service time.
+    pub fn record_hit_ns(&self, ns: u64) {
+        self.hit_ns.lock().expect("hit samples poisoned").push(ns);
+    }
+
+    /// Record one cache miss's charged service time.
+    pub fn record_miss_ns(&self, ns: u64) {
+        self.miss_ns.lock().expect("miss samples poisoned").push(ns);
+    }
+
+    /// Copy every counter and summarise the service-time samples.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let summarise = |samples: &Mutex<Vec<u64>>| -> (u64, u64) {
+            let mut ns = samples.lock().expect("samples poisoned").clone();
+            if ns.is_empty() {
+                return (0, 0);
+            }
+            ns.sort_unstable();
+            (percentile_u64(&ns, 50), percentile_u64(&ns, 99))
+        };
+        let (hit_p50_ns, hit_p99_ns) = summarise(&self.hit_ns);
+        let (miss_p50_ns, miss_p99_ns) = summarise(&self.miss_ns);
         StatsSnapshot {
             requests: self.requests.load(Ordering::SeqCst),
             hits: self.hits.load(Ordering::SeqCst),
@@ -78,6 +124,12 @@ impl ServiceStats {
             in_flight: self.in_flight.load(Ordering::SeqCst),
             peak_in_flight: self.peak_in_flight.load(Ordering::SeqCst),
             service_ns: self.service_ns.load(Ordering::SeqCst),
+            stats_requests: self.stats_requests.load(Ordering::SeqCst),
+            shutdown_requests: self.shutdown_requests.load(Ordering::SeqCst),
+            hit_p50_ns,
+            hit_p99_ns,
+            miss_p50_ns,
+            miss_p99_ns,
         }
     }
 }
@@ -101,7 +153,9 @@ impl StatsSnapshot {
             concat!(
                 "{{\"status\":\"ok\",\"requests\":{},\"hits\":{},\"misses\":{},",
                 "\"shed\":{},\"errors\":{},\"evictions\":{},\"in_flight\":{},",
-                "\"peak_in_flight\":{},\"service_ns\":{}}}"
+                "\"peak_in_flight\":{},\"service_ns\":{},\"stats_requests\":{},",
+                "\"shutdown_requests\":{},\"hit_p50_ns\":{},\"hit_p99_ns\":{},",
+                "\"miss_p50_ns\":{},\"miss_p99_ns\":{}}}"
             ),
             self.requests,
             self.hits,
@@ -112,6 +166,12 @@ impl StatsSnapshot {
             self.in_flight,
             self.peak_in_flight,
             self.service_ns,
+            self.stats_requests,
+            self.shutdown_requests,
+            self.hit_p50_ns,
+            self.hit_p99_ns,
+            self.miss_p50_ns,
+            self.miss_p99_ns,
         )
     }
 }
@@ -141,32 +201,37 @@ mod tests {
         stats.hits.store(6, Ordering::SeqCst);
         stats.misses.store(4, Ordering::SeqCst);
         stats.service_ns.store(1234, Ordering::SeqCst);
+        stats.stats_requests.store(2, Ordering::SeqCst);
+        stats.shutdown_requests.store(1, Ordering::SeqCst);
+        stats.record_hit_ns(30);
+        stats.record_hit_ns(10);
+        stats.record_hit_ns(20);
+        stats.record_miss_ns(500);
         let snap = stats.snapshot();
         assert_eq!(
             snap.render_json(),
             "{\"status\":\"ok\",\"requests\":10,\"hits\":6,\"misses\":4,\
              \"shed\":0,\"errors\":0,\"evictions\":0,\"in_flight\":0,\
-             \"peak_in_flight\":0,\"service_ns\":1234}"
+             \"peak_in_flight\":0,\"service_ns\":1234,\"stats_requests\":2,\
+             \"shutdown_requests\":1,\"hit_p50_ns\":20,\"hit_p99_ns\":30,\
+             \"miss_p50_ns\":500,\"miss_p99_ns\":500}"
         );
         assert!(!snap.render_json().contains('\n'));
         assert!((snap.hit_rate() - 0.6).abs() < 1e-12);
-        assert_eq!(StatsSnapshot::default_rate_zero(), 0.0);
     }
 
-    impl StatsSnapshot {
-        fn default_rate_zero() -> f64 {
-            StatsSnapshot {
-                requests: 0,
-                hits: 0,
-                misses: 0,
-                shed: 0,
-                errors: 0,
-                evictions: 0,
-                in_flight: 0,
-                peak_in_flight: 0,
-                service_ns: 0,
-            }
-            .hit_rate()
-        }
+    #[test]
+    fn empty_samples_render_zero_percentiles() {
+        let snap = ServiceStats::default().snapshot();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(
+            (
+                snap.hit_p50_ns,
+                snap.hit_p99_ns,
+                snap.miss_p50_ns,
+                snap.miss_p99_ns
+            ),
+            (0, 0, 0, 0)
+        );
     }
 }

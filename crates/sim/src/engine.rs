@@ -47,6 +47,7 @@
 
 use crate::queue::EventQueue;
 use crate::time::SimTime;
+use qla_obs::{Noop, ObsDetail, Recorder};
 use qla_sched::{CommRequest, Edge, Mesh};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -470,6 +471,9 @@ struct Simulator<'a> {
     busy_factory_ns: u128,
     measured_busy_factory_ns: u128,
     makespan: SimTime,
+    /// The observability sink. [`Noop`] on the plain entry points, so the
+    /// recorded-off run is the *same code path* as the unobserved one.
+    rec: &'a mut dyn Recorder,
 }
 
 /// Run the simulator over a stream of work items.
@@ -506,6 +510,33 @@ pub fn simulate_faulted(
     cfg: &SimConfig,
     items: &[WorkItem],
     faults: &FaultTimeline,
+) -> SimOutcome {
+    simulate_observed(mesh, cfg, items, faults, &mut Noop)
+}
+
+/// Run the simulator with an observability [`Recorder`] attached.
+///
+/// This is the one real entry point — [`simulate`] and [`simulate_faulted`]
+/// are this function with a [`Noop`] recorder, so recording can never
+/// change an outcome: the engine consults the recorder only to *emit*,
+/// never to decide. Recorded tracks (all integer virtual-time stamps):
+///
+/// * `admission` — `admit` / `defer` / `quota-defer` instants per item;
+/// * `factory` — one `ancilla-prep` span per preparation slot occupancy;
+/// * `item` — one `sojourn` span per work item (arrival → completion);
+/// * `fault` — onset/recovery instants of every timeline fault;
+/// * `channel` / `queue` ([`ObsDetail::Full`] only) — per-edge service
+///   round spans and post-round queue-depth samples.
+///
+/// # Panics
+/// Exactly as [`simulate_faulted`].
+#[must_use]
+pub fn simulate_observed(
+    mesh: &Mesh,
+    cfg: &SimConfig,
+    items: &[WorkItem],
+    faults: &FaultTimeline,
+    rec: &mut dyn Recorder,
 ) -> SimOutcome {
     cfg.validate();
     faults.validate(mesh, cfg, items);
@@ -558,7 +589,25 @@ pub fn simulate_faulted(
         busy_factory_ns: 0,
         measured_busy_factory_ns: 0,
         makespan: SimTime::ZERO,
+        rec,
     };
+    // Fault windows are known up front; emit their onset/recovery markers
+    // here so the timeline shows them even when no work ever touches the
+    // degraded resource.
+    if sim.rec.enabled() {
+        for fault in &faults.channel_faults {
+            sim.rec
+                .instant("fault", "channel-onset", fault.from.nanos());
+            sim.rec
+                .instant("fault", "channel-recovery", fault.until.nanos());
+        }
+        for fault in &faults.factory_faults {
+            sim.rec
+                .instant("fault", "factory-onset", fault.from.nanos());
+            sim.rec
+                .instant("fault", "factory-recovery", fault.until.nanos());
+        }
+    }
     // A stalled factory (capacity fault with no preparation in flight)
     // has no event of its own to wake it; schedule the recovery instants
     // up front. Edges need none — see [`Event::FactoryRecovered`].
@@ -673,11 +722,24 @@ impl Simulator<'_> {
         if self.admissible(item) {
             self.admit(item, now);
         } else {
+            if self.rec.enabled() {
+                // Name the binding limit: under the global depth it can
+                // only have been the tenant quota.
+                let cause = if self.in_flight < self.cfg.max_in_flight {
+                    "quota-defer"
+                } else {
+                    "defer"
+                };
+                self.rec.instant("admission", cause, now.nanos());
+            }
             self.backlog.push_back(item);
         }
     }
 
     fn admit(&mut self, item: usize, now: SimTime) {
+        if self.rec.enabled() {
+            self.rec.instant("admission", "admit", now.nanos());
+        }
         self.in_flight += 1;
         if !self.tenant_quotas.is_empty() {
             self.tenant_in_flight[self.items[item].tenant] += 1;
@@ -715,6 +777,14 @@ impl Simulator<'_> {
             };
             self.factory_busy += 1;
             let done = now + self.cfg.ancilla_prep;
+            if self.rec.enabled() {
+                self.rec.span(
+                    "factory",
+                    "ancilla-prep",
+                    now.nanos(),
+                    self.cfg.ancilla_prep.nanos(),
+                );
+            }
             self.account_factory(now, done);
             self.events.push(done, Event::AncillaDone(item));
         }
@@ -791,6 +861,23 @@ impl Simulator<'_> {
         };
         if !served.is_empty() {
             let done = now + self.cfg.pair_service;
+            if self.rec.enabled() && self.rec.detail() == ObsDetail::Full {
+                // High-volume per-edge tracks, Full detail only: the busy
+                // round and the queue depth left behind after the drain.
+                let label = format!("edge-{edge}");
+                self.rec.span(
+                    "channel",
+                    &label,
+                    now.nanos(),
+                    self.cfg.pair_service.nanos(),
+                );
+                self.rec.counter(
+                    "queue",
+                    &label,
+                    now.nanos(),
+                    self.edges[edge].queue.len() as u64,
+                );
+            }
             self.account_channels(served.len(), now, done);
             self.events.push(done, Event::BatchDone(edge, served));
         }
@@ -816,6 +903,15 @@ impl Simulator<'_> {
     }
 
     fn complete_item(&mut self, item: usize, now: SimTime) {
+        if self.rec.enabled() {
+            let arrival = self.items[item].arrival;
+            self.rec.span(
+                "item",
+                "sojourn",
+                arrival.nanos(),
+                now.saturating_since(arrival).nanos(),
+            );
+        }
         self.items[item].completed = Some(now);
         self.makespan = self.makespan.max(now);
         self.in_flight -= 1;
@@ -1252,6 +1348,70 @@ mod tests {
         assert_eq!(out.items[3].released, SimTime::ZERO);
         assert_eq!(out.items[1].released, out.items[0].completion);
         assert_eq!(out.items[1].tenant, 0);
+    }
+
+    #[test]
+    fn recording_never_perturbs_the_outcome_and_captures_the_run() {
+        use qla_obs::{EventLog, ObsConfig};
+        let mesh = Mesh::new(4, 4, 2);
+        let c = SimConfig {
+            max_in_flight: 2,
+            ..cfg()
+        };
+        let items: Vec<WorkItem> = (0..6)
+            .map(|i| WorkItem {
+                arrival: at(137 * i as u64),
+                ancillas: 2,
+                requests: vec![request(i % 16, (5 * i + 3) % 16, 9)],
+                tenant: 0,
+            })
+            .collect();
+        let faults = FaultTimeline {
+            factory_faults: vec![FactoryFault {
+                from: SimTime::ZERO,
+                until: at(500),
+                capacity: 0,
+            }],
+            ..FaultTimeline::default()
+        };
+        let plain = simulate_faulted(&mesh, &c, &items, &faults);
+
+        let mut full = EventLog::for_point(ObsConfig::full(), "sim");
+        let observed = simulate_observed(&mesh, &c, &items, &faults, &mut full);
+        assert_eq!(observed, plain, "recording must be outcome-invariant");
+
+        let tracks = full.tracks();
+        for expected in ["fault", "admission", "factory", "item", "channel", "queue"] {
+            assert!(
+                tracks.iter().any(|t| t == expected),
+                "track {expected} missing from {tracks:?}"
+            );
+        }
+        // Every item admits and completes; the deferred ones show up too.
+        let named = |name: &str| full.events().iter().filter(|e| e.name == name).count();
+        assert_eq!(named("admit"), items.len());
+        assert_eq!(named("sojourn"), items.len());
+        assert!(named("defer") > 0, "max_in_flight=2 must defer arrivals");
+        assert_eq!(named("factory-onset"), 1);
+        assert_eq!(named("factory-recovery"), 1);
+        assert_eq!(named("ancilla-prep"), 2 * items.len());
+
+        // Light detail drops the per-round channel tracks and nothing else.
+        let mut light = EventLog::for_point(ObsConfig::light(), "sim");
+        assert_eq!(
+            simulate_observed(&mesh, &c, &items, &faults, &mut light),
+            plain
+        );
+        assert!(light
+            .tracks()
+            .iter()
+            .all(|t| t != "channel" && t != "queue"));
+        assert!(light.events().len() < full.events().len());
+
+        // And two observed runs record byte-identical logs.
+        let mut again = EventLog::for_point(ObsConfig::full(), "sim");
+        let _ = simulate_observed(&mesh, &c, &items, &faults, &mut again);
+        assert_eq!(full, again);
     }
 
     #[test]

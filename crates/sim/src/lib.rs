@@ -89,8 +89,8 @@ pub mod time;
 pub mod workload;
 
 pub use engine::{
-    shortest_path, simulate, simulate_faulted, simulate_requests, ChannelFault, FactoryFault,
-    FaultTimeline, ItemOutcome, RequestOutcome, SimConfig, SimOutcome, WorkItem,
+    shortest_path, simulate, simulate_faulted, simulate_observed, simulate_requests, ChannelFault,
+    FactoryFault, FaultTimeline, ItemOutcome, RequestOutcome, SimConfig, SimOutcome, WorkItem,
 };
 pub use queue::EventQueue;
 pub use stats::{mean_nanos, percentile, sorted_nanos, LatencySummary};

@@ -80,16 +80,15 @@ pub fn mean_nanos(ns: &[u64]) -> f64 {
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample: the smallest
-/// element with at least `q`% of the sample at or below it.
+/// element with at least `q`% of the sample at or below it. Delegates to
+/// the workspace-wide helper in [`qla_obs::stats`], so the simulator, the
+/// service, and the reports all share one quantile definition.
 ///
 /// # Panics
 /// Panics on an empty sample or `q` outside `1..=100`.
 #[must_use]
 pub fn percentile(sorted_ns: &[u64], q: u32) -> u64 {
-    assert!(!sorted_ns.is_empty(), "percentile of an empty sample");
-    assert!((1..=100).contains(&q), "percentile {q} outside 1..=100");
-    let rank = (sorted_ns.len() * q as usize).div_ceil(100);
-    sorted_ns[rank - 1]
+    qla_obs::stats::percentile_u64(sorted_ns, q)
 }
 
 #[cfg(test)]

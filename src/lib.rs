@@ -18,6 +18,7 @@
 //! | [`sched`] | `qla-sched` | greedy EPR-distribution scheduler (Section 5) |
 //! | [`sim`] | `qla-sim` | deterministic discrete-event simulator: EPR-channel queueing, ancilla factories, tail latency |
 //! | [`faults`] | `qla-faults` | declarative fault-injection plans, traffic matrices, multi-tenant streams |
+//! | [`obs`] | `qla-obs` | deterministic tracing: recorder trait, event logs, Perfetto/timeline exporters, metrics |
 //! | [`report`] | `qla-report` | typed experiment reports, deterministic text/JSON/CSV renderers |
 //! | [`serve`] | `qla-serve` | newline-delimited-JSON evaluation service: result cache, admission control, service stats |
 //! | [`core`] | `qla-core` | ARQ simulator, Fig. 7 Monte-Carlo, the QLA machine, `MachineBuilder`, the `Experiment` API |
@@ -45,6 +46,7 @@ pub use qla_core as core;
 pub use qla_faults as faults;
 pub use qla_layout as layout;
 pub use qla_network as network;
+pub use qla_obs as obs;
 pub use qla_physical as physical;
 pub use qla_qec as qec;
 pub use qla_report as report;
